@@ -1,0 +1,26 @@
+//! F1 — system assembly and the structural summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::config::Scale;
+use spice_core::experiments::fig1_system;
+use spice_pore::build::PoreSystemBuilder;
+use spice_pore::geometry::PoreGeometry;
+
+fn build(c: &mut Criterion) {
+    let report = fig1_system::run(Scale::Bench, BENCH_SEED);
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("build");
+    g.bench_function("assemble_pore_system", |b| {
+        b.iter(|| PoreSystemBuilder::new().build());
+    });
+    g.bench_function("radius_profile_0p1A", |b| {
+        let geom = PoreGeometry::alpha_hemolysin();
+        b.iter(|| geom.radius_profile(0.1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, build);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! T-batch / T-fail — the 72-simulation campaign on the federation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::experiments::campaign as campaign_exp;
+use spice_gridsim::campaign::Campaign;
+use spice_gridsim::des::run_des;
+use spice_gridsim::federation::Federation;
+
+fn campaign(c: &mut Criterion) {
+    let report = campaign_exp::run(BENCH_SEED);
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("campaign");
+    g.bench_function("federated_72_jobs", |b| {
+        b.iter(|| Campaign::paper_batch_phase(7).run());
+    });
+    g.bench_function("des_execution_72_jobs", |b| {
+        let c = Campaign::paper_batch_phase(7);
+        b.iter(|| run_des(&c));
+    });
+    g.bench_function("single_site_72_jobs", |b| {
+        b.iter(|| {
+            let mut one = Campaign::paper_batch_phase(7);
+            one.federation = Federation::paper_us_uk().restricted(&[0]);
+            one.run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, campaign);
+criterion_main!(benches);

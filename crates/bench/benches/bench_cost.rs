@@ -1,0 +1,28 @@
+//! T-cost — the cost model (fast analytic kernels; the report is the
+//! artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_core::costing::{CostModel, SmdJeCosting};
+use spice_core::experiments::cost_model;
+
+fn cost(c: &mut Criterion) {
+    let report = cost_model::run();
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("cost_model");
+    g.bench_function("full_model", |b| {
+        b.iter(|| {
+            let m = CostModel::paper();
+            let c = SmdJeCosting::paper();
+            (
+                m.vanilla_cpu_hours(10.0),
+                m.min_procs_for_interactivity(1.0, 10),
+                c.reduction_factor(&m),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cost);
+criterion_main!(benches);

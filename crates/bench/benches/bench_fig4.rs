@@ -1,0 +1,31 @@
+//! F4 — the Fig. 4 (κ, v) sweep. Prints the full report once (the
+//! paper-vs-measured record), then times a representative cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::config::Scale;
+use spice_core::experiments::fig4_pmf;
+use spice_core::pipeline::run_cell;
+use spice_stats::rng::SeedSequence;
+
+fn fig4(c: &mut Criterion) {
+    // One full sweep, printed: this is the artifact regeneration.
+    let report = fig4_pmf::run(Scale::Bench, BENCH_SEED);
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("fig4_cell");
+    g.sample_size(10);
+    for &(kappa, v) in &[(10.0, 100.0), (100.0, 100.0), (1000.0, 100.0)] {
+        g.bench_with_input(
+            BenchmarkId::new("run_cell", format!("k{kappa}_v{v}")),
+            &(kappa, v),
+            |b, &(kappa, v)| {
+                b.iter(|| run_cell(Scale::Test, kappa, v, SeedSequence::new(1)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

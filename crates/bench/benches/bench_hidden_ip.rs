@@ -1,0 +1,30 @@
+//! T-hidden — hidden-IP addressability and gateway bottleneck.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_core::experiments::hidden_ip;
+use spice_gridsim::hidden_ip::{effective_path, Gateway};
+use spice_gridsim::network::QosProfile;
+
+fn hidden(c: &mut Criterion) {
+    let report = hidden_ip::run();
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("hidden_ip");
+    g.bench_function("gateway_sweep", |b| {
+        b.iter(hidden_ip::gateway_bottleneck_sweep);
+    });
+    g.bench_function("routed_message_1MB", |b| {
+        let gw = Gateway::psc();
+        let base = QosProfile::TransAtlanticLightpath.link();
+        let path = effective_path(base, Some((&gw, 64)));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            path.message_time_ms(1_000_000, 5, n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hidden);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Jarzynski analysis kernels: exponential averaging, PMF assembly,
+//! bootstrap error bars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spice_jarzynski::error::statistical::pmf_bootstrap_sigma;
+use spice_jarzynski::pmf::{Estimator, PmfCurve};
+use spice_jarzynski::{cumulant_free_energy, jarzynski_free_energy};
+use spice_md::rng::GaussianStream;
+use spice_md::units::KT_300;
+use spice_smd::{WorkSample, WorkTrajectory};
+
+fn works(n: usize) -> Vec<f64> {
+    let g = GaussianStream::new(1);
+    (0..n).map(|i| 5.0 + 2.0 * g.sample(i as u64, 0)).collect()
+}
+
+fn ensemble(n: usize) -> Vec<WorkTrajectory> {
+    let g = GaussianStream::new(2);
+    (0..n)
+        .map(|r| WorkTrajectory {
+            kappa_pn_per_a: 100.0,
+            v_a_per_ns: 12.5,
+            seed: r as u64,
+            samples: (0..=100)
+                .map(|i| {
+                    let s = i as f64 * 0.1;
+                    WorkSample {
+                        t_ps: s,
+                        guide_disp: s,
+                        com_disp: s,
+                        work: 2.0 * s + 0.3 * g.sample(r as u64, i),
+                        force: 2.0,
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn jarzynski(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimators");
+    for &n in &[100usize, 10_000] {
+        let w = works(n);
+        g.bench_with_input(BenchmarkId::new("jarzynski", n), &n, |b, _| {
+            b.iter(|| jarzynski_free_energy(&w, KT_300));
+        });
+        g.bench_with_input(BenchmarkId::new("cumulant", n), &n, |b, _| {
+            b.iter(|| cumulant_free_energy(&w, KT_300));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("pmf");
+    let ens = ensemble(64);
+    g.bench_function("estimate_64x100", |b| {
+        b.iter(|| PmfCurve::estimate(&ens, 10.0, 21, KT_300, Estimator::Jarzynski));
+    });
+    g.sample_size(10);
+    g.bench_function("bootstrap_200", |b| {
+        b.iter(|| {
+            pmf_bootstrap_sigma(&ens, 10.0, 21, KT_300, Estimator::Jarzynski, 200, 9)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, jarzynski);
+criterion_main!(benches);

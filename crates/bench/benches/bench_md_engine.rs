@@ -1,0 +1,72 @@
+//! MD substrate kernels: force evaluation, neighbor search, Langevin
+//! steps — the per-step cost everything else multiplies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spice_md::forces::{ForceField, LjParams, NonBonded};
+use spice_md::integrate::LangevinBaoab;
+use spice_md::neighbor::{brute_force_pairs, CellList};
+use spice_md::{Simulation, System, Topology, Vec3};
+
+fn dense_system(n: usize) -> System {
+    let mut sys = System::new();
+    let side = (n as f64).cbrt().ceil() as usize;
+    for i in 0..n {
+        let p = Vec3::new(
+            (i % side) as f64 * 6.5,
+            ((i / side) % side) as f64 * 6.5,
+            (i / (side * side)) as f64 * 6.5,
+        );
+        sys.add_particle(p, 330.0, if i % 2 == 0 { -1.0 } else { 0.0 }, 1);
+    }
+    sys
+}
+
+fn force_field() -> ForceField {
+    ForceField::new(Topology::new()).with_nonbonded(
+        NonBonded::new(LjParams::wca(6.0, 0.5), 13.0, 1.0).with_debye_huckel(3.04, 78.0),
+    )
+}
+
+fn md_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("force_eval");
+    for &n in &[64usize, 256, 1024, 4096] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("wca_dh", n), &n, |b, &n| {
+            let mut sys = dense_system(n);
+            let mut ff = force_field();
+            b.iter(|| ff.evaluate(&mut sys));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("neighbor");
+    for &n in &[256usize, 1024, 4096] {
+        let sys = dense_system(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("cell_list", n), &n, |b, _| {
+            b.iter(|| CellList::build(sys.positions(), 13.0));
+        });
+        if n <= 1024 {
+            g.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+                b.iter(|| brute_force_pairs(sys.positions(), 13.0));
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("langevin_step");
+    g.bench_function("256_beads", |b| {
+        let sys = dense_system(256);
+        let mut sim = Simulation::new(
+            sys,
+            force_field(),
+            Box::new(LangevinBaoab::new(300.0, 2.0, 1)),
+            0.01,
+        );
+        b.iter(|| sim.step_once());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, md_engine);
+criterion_main!(benches);

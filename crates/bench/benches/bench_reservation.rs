@@ -1,0 +1,27 @@
+//! T-resv — reservation workflows and co-allocation decay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::experiments::reservations;
+use spice_gridsim::federation::Federation;
+use spice_gridsim::scheduler::reservation::ManualBookingModel;
+
+fn reservation(c: &mut Criterion) {
+    let report = reservations::run(BENCH_SEED);
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("booking");
+    g.bench_function("manual_10k", |b| {
+        let m = ManualBookingModel::paper_manual();
+        b.iter(|| m.expected(10_000, 3));
+    });
+    g.bench_function("co_schedule_10k", |b| {
+        let fed = Federation::paper_us_uk();
+        let m = ManualBookingModel::paper_manual();
+        b.iter(|| fed.co_schedule_success_rate(&m, 10_000, 4));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, reservation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! T-scale — §VI: "there is no theoretical limit to how well our approach
+//! scales; the only constraint is the availability of computational
+//! resources." Strong scaling of the realization ensemble over thread
+//! counts (the in-process analogue of adding grid sites).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spice_core::config::Scale;
+use spice_core::pipeline::pore_simulation;
+use spice_smd::run_ensemble;
+use spice_stats::rng::SeedSequence;
+
+fn scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ensemble_strong_scaling");
+    g.sample_size(10);
+    let protocol = Scale::Test.protocol(100.0, 100.0);
+    for &threads in &[1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("8_realizations", threads),
+            &threads,
+            |b, &threads| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool");
+                b.iter(|| {
+                    pool.install(|| {
+                        run_ensemble(
+                            |seed| pore_simulation(Scale::Test, seed),
+                            &protocol,
+                            8,
+                            SeedSequence::new(3),
+                        )
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

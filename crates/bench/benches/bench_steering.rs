@@ -1,0 +1,62 @@
+//! F2 — steering framework round-trips: frame publication, control
+//! routing, checkpoint capture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::config::Scale;
+use spice_core::experiments::fig2_steering;
+use spice_md::forces::{ForceField, Restraint};
+use spice_md::integrate::LangevinBaoab;
+use spice_md::{Simulation, System, Topology, Vec3};
+use spice_steering::message::ControlMessage;
+use spice_steering::service::GridService;
+use spice_steering::SteeringHook;
+
+fn small_sim(seed: u64) -> Simulation {
+    let mut sys = System::new();
+    for i in 0..16 {
+        sys.add_particle(Vec3::new(i as f64, 0.0, 0.0), 10.0, 0.0, 0);
+    }
+    let mut ff = ForceField::new(Topology::new());
+    for i in 0..16 {
+        ff = ff.with_restraint(Restraint::harmonic(i, Vec3::new(i as f64, 0.0, 0.0), 1.0));
+    }
+    Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+}
+
+fn steering(c: &mut Criterion) {
+    let report = fig2_steering::run(Scale::Bench, BENCH_SEED);
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("steering");
+    g.bench_function("steered_100_steps", |b| {
+        b.iter(|| {
+            let service = GridService::shared();
+            let mut hook = SteeringHook::attach(service.clone(), 10, vec![0]);
+            let mut sim = small_sim(1);
+            sim.run(100, &mut [&mut hook]).unwrap()
+        });
+    });
+    g.bench_function("unsteered_100_steps", |b| {
+        b.iter(|| {
+            let mut sim = small_sim(1);
+            sim.run(100, &mut []).unwrap()
+        });
+    });
+    g.bench_function("control_roundtrip", |b| {
+        let service = GridService::shared();
+        let id = {
+            let mut s = service.lock();
+            s.register(spice_steering::service::ComponentKind::Simulation)
+        };
+        b.iter(|| {
+            let mut s = service.lock();
+            s.send_control(id, ControlMessage::Pause);
+            s.poll_control(id)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, steering);
+criterion_main!(benches);

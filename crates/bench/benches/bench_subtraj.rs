@@ -1,0 +1,38 @@
+//! T-subtraj — sub-trajectory decomposition error study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::config::Scale;
+use spice_core::experiments::subtrajectory;
+use spice_smd::{segment_trajectory, WorkSample, WorkTrajectory};
+
+fn subtraj(c: &mut Criterion) {
+    let report = subtrajectory::run(Scale::Bench, BENCH_SEED);
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("subtraj");
+    g.bench_function("segment_1000_samples", |b| {
+        let t = WorkTrajectory {
+            kappa_pn_per_a: 100.0,
+            v_a_per_ns: 12.5,
+            seed: 0,
+            samples: (0..=1000)
+                .map(|i| {
+                    let s = i as f64 * 0.02;
+                    WorkSample {
+                        t_ps: s,
+                        guide_disp: s,
+                        com_disp: s,
+                        work: 1.5 * s,
+                        force: 1.5,
+                    }
+                })
+                .collect(),
+        };
+        b.iter(|| segment_trajectory(&t, 5.0));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, subtraj);
+criterion_main!(benches);

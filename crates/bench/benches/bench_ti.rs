@@ -1,0 +1,35 @@
+//! T-ti — thermodynamic-integration extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::config::Scale;
+use spice_core::experiments::{bidirectional, ti_extension};
+use spice_core::pipeline::pore_simulation;
+use spice_core::ti::ti_profile;
+use spice_stats::rng::SeedSequence;
+
+fn ti(c: &mut Criterion) {
+    let report = ti_extension::run(Scale::Bench, BENCH_SEED);
+    println!("{}", report.render());
+    // T-bidir shares the §VI "other methods" theme; its report lives here.
+    println!("{}", bidirectional::run(Scale::Bench, BENCH_SEED).render());
+
+    let mut g = c.benchmark_group("ti");
+    g.sample_size(10);
+    g.bench_function("profile_5_windows", |b| {
+        b.iter(|| {
+            ti_profile(
+                |seed| pore_simulation(Scale::Test, seed),
+                Scale::Test,
+                4.0,
+                5,
+                100.0,
+                SeedSequence::new(2),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ti);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! F3 — translocation stretching at the constriction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::BENCH_SEED;
+use spice_core::config::Scale;
+use spice_core::experiments::fig3_translocation;
+
+fn translocation(c: &mut Criterion) {
+    let report = fig3_translocation::run(Scale::Bench, BENCH_SEED);
+    println!("{}", report.render());
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("measure_stretch", |b| {
+        b.iter(|| fig3_translocation::measure(Scale::Test, 3));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, translocation);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! The computational cost model — §I's back-of-envelope and §II's
+//! SMD-JE reduction factor, plus the strong-scaling model behind the
+//! "interactivity requires 256 processors" claim (§III).
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's reference performance point and problem sizes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct CostModel {
+    /// Atom count of the full system.
+    pub atoms: u64,
+    /// Hours of wall-clock per simulated ns at the reference point.
+    pub hours_per_ns: f64,
+    /// Processors at the reference point.
+    pub ref_procs: u32,
+    /// MD time step (fs) — 2 fs with rigid bonds in 2005 NAMD practice.
+    pub timestep_fs: f64,
+    /// Fraction of per-step work that does not parallelize (Amdahl).
+    pub serial_fraction: f64,
+}
+
+impl CostModel {
+    /// §I's numbers: "approximately 24 hours on 128 processors to
+    /// simulate one nanosecond of physical time for a system of
+    /// approximately 300,000 atoms".
+    pub fn paper() -> Self {
+        CostModel {
+            atoms: 300_000,
+            hours_per_ns: 24.0,
+            ref_procs: 128,
+            timestep_fs: 2.0,
+            serial_fraction: 0.001,
+        }
+    }
+
+    /// CPU-hours per simulated ns: the paper's "about 3000 CPU-hours on a
+    /// tightly coupled machine to simulate 1 ns".
+    pub fn cpu_hours_per_ns(&self) -> f64 {
+        self.hours_per_ns * self.ref_procs as f64
+    }
+
+    /// CPU-hours for a vanilla MD run of `microseconds` of physical time:
+    /// §I's "3 × 10⁷ CPU-hours to simulate 10 microseconds".
+    pub fn vanilla_cpu_hours(&self, microseconds: f64) -> f64 {
+        self.cpu_hours_per_ns() * microseconds * 1e3
+    }
+
+    /// Years until vanilla simulation becomes routine by Moore's-law
+    /// doubling every `doubling_months` months, given a tolerable budget
+    /// of `budget_cpu_hours`: §I's "a couple of decades away".
+    pub fn moores_law_years(&self, microseconds: f64, budget_cpu_hours: f64, doubling_months: f64) -> f64 {
+        let needed = self.vanilla_cpu_hours(microseconds);
+        if needed <= budget_cpu_hours {
+            return 0.0;
+        }
+        let doublings = (needed / budget_cpu_hours).log2();
+        doublings * doubling_months / 12.0
+    }
+
+    /// Wall-clock per MD step (ms) on `procs` processors — Amdahl
+    /// strong scaling calibrated at the reference point.
+    pub fn step_wall_ms(&self, procs: u32) -> f64 {
+        assert!(procs > 0);
+        // Steps per ns and total wall at the reference point.
+        let steps_per_ns = 1e6 / self.timestep_fs;
+        let ref_step_ms = self.hours_per_ns * 3_600_000.0 / steps_per_ns;
+        // Decompose the reference step time into serial + parallel parts.
+        // ref_step = s + p/ref_procs with s = serial_fraction × t1,
+        // p = (1-serial_fraction) × t1 where t1 is the 1-proc step time.
+        let rp = self.ref_procs as f64;
+        let t1 = ref_step_ms / (self.serial_fraction + (1.0 - self.serial_fraction) / rp);
+        self.serial_fraction * t1 + (1.0 - self.serial_fraction) * t1 / procs as f64
+    }
+
+    /// Steering-force update rate (Hz) on `procs` processors with an
+    /// IMD exchange every `steps_per_exchange` steps.
+    pub fn imd_rate_hz(&self, procs: u32, steps_per_exchange: u64) -> f64 {
+        1e3 / (self.step_wall_ms(procs) * steps_per_exchange as f64)
+    }
+
+    /// Minimum processors for interactive steering at ≥ `min_hz` force
+    /// updates, scanning powers of two — reproduces §III's "typically
+    /// requires performing simulations on 256 processors".
+    pub fn min_procs_for_interactivity(&self, min_hz: f64, steps_per_exchange: u64) -> u32 {
+        let mut p = 1u32;
+        while p <= 1 << 20 {
+            if self.imd_rate_hz(p, steps_per_exchange) >= min_hz {
+                return p;
+            }
+            p *= 2;
+        }
+        p
+    }
+}
+
+/// The SMD-JE cost picture of §II: "the net computational requirement for
+/// the problem of interest can be reduced by a factor of 50-100".
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct SmdJeCosting {
+    /// Physical time a brute-force study must cover (µs) — translocation
+    /// takes "tens of microseconds"; the tractable study target.
+    pub target_microseconds: f64,
+    /// Production campaign cost (CPU-hours) — §III's ≈75,000.
+    pub campaign_cpu_hours: f64,
+    /// Pre-processing + interactive priming cost (CPU-hours).
+    pub priming_cpu_hours: f64,
+}
+
+impl SmdJeCosting {
+    /// Paper-calibrated numbers.
+    pub fn paper() -> Self {
+        SmdJeCosting {
+            target_microseconds: 2.5,
+            campaign_cpu_hours: 75_000.0,
+            priming_cpu_hours: 20_000.0,
+        }
+    }
+
+    /// Total SMD-JE cost.
+    pub fn total_cpu_hours(&self) -> f64 {
+        self.campaign_cpu_hours + self.priming_cpu_hours
+    }
+
+    /// The net reduction factor vs vanilla MD.
+    pub fn reduction_factor(&self, model: &CostModel) -> f64 {
+        model.vanilla_cpu_hours(self.target_microseconds) / self.total_cpu_hours()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_back_of_envelope_reproduced() {
+        let m = CostModel::paper();
+        // "about 3000 CPU-hours … to simulate 1 ns"
+        assert!((m.cpu_hours_per_ns() - 3_072.0).abs() < 1.0);
+        // "3 × 10⁷ CPU-hours to simulate 10 microseconds"
+        let v = m.vanilla_cpu_hours(10.0);
+        assert!(
+            (v - 3.072e7).abs() < 1e5,
+            "10 µs vanilla cost {v} should be ≈3×10⁷ CPU-hours"
+        );
+    }
+
+    #[test]
+    fn moores_law_a_couple_of_decades() {
+        let m = CostModel::paper();
+        // Routine ≡ affordable within ~75k CPU-hours (one campaign).
+        let years = m.moores_law_years(10.0, 75_000.0, 18.0);
+        assert!(
+            (10.0..30.0).contains(&years),
+            "\"a couple of decades\": got {years:.1} years"
+        );
+    }
+
+    #[test]
+    fn step_time_calibrated_at_reference() {
+        let m = CostModel::paper();
+        // 24 h per ns at 2 fs steps = 172.8 ms per step on 128 procs.
+        let t = m.step_wall_ms(128);
+        assert!((t - 172.8).abs() < 0.5, "got {t}");
+        // More processors → faster, with diminishing returns.
+        assert!(m.step_wall_ms(256) < t);
+        assert!(m.step_wall_ms(256) > t / 2.0, "Amdahl penalty visible");
+    }
+
+    #[test]
+    fn interactivity_needs_256_procs() {
+        let m = CostModel::paper();
+        // "sense of interactivity": ≥ 1 force update/s with a 10-step
+        // exchange cadence.
+        let p = m.min_procs_for_interactivity(1.0, 10);
+        assert_eq!(
+            p, 256,
+            "§III: interactive simulation of the 300k-atom system needs 256 procs"
+        );
+        // 128 procs must NOT be interactive under the same criterion.
+        assert!(m.imd_rate_hz(128, 10) < 1.0);
+    }
+
+    #[test]
+    fn smdje_reduction_in_paper_band() {
+        let f = SmdJeCosting::paper().reduction_factor(&CostModel::paper());
+        assert!(
+            (50.0..=100.0).contains(&f),
+            "§II: SMD-JE reduces cost by 50–100×; got {f:.0}"
+        );
+    }
+
+    #[test]
+    fn reduction_scales_with_target() {
+        let m = CostModel::paper();
+        let mut c = SmdJeCosting::paper();
+        let base = c.reduction_factor(&m);
+        c.target_microseconds *= 2.0;
+        assert!((c.reduction_factor(&m) / base - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! T-batch + T-fail — §III's production campaign (72 sims, <1 week,
+//! ~75k CPU-hours) on the federation vs single sites, plus §V-C-4's
+//! security-breach outage and the value of redundancy.
+
+use crate::report::Report;
+use spice_gridsim::campaign::Campaign;
+use spice_gridsim::des::run_des;
+use spice_gridsim::failure::Outage;
+use spice_gridsim::federation::Federation;
+use spice_gridsim::metrics::{federation_utilization, site_utilization, wait_summary};
+
+/// Run T-batch / T-fail.
+pub fn run(master_seed: u64) -> Report {
+    let federated = Campaign::paper_batch_phase(master_seed);
+    let fed_result = federated.run();
+
+    // Best single site (NCSA) for the contrast.
+    let mut single = Campaign::paper_batch_phase(master_seed);
+    single.federation = Federation::paper_us_uk().restricted(&[0]);
+    let single_result = single.run();
+
+    // T-fail: breach takes out the only coordinate-able UK node
+    // (NGS-Oxford, id 3) for three weeks; first with no UK redundancy
+    // (Leeds also down for middleware reasons), then with Leeds healthy.
+    let mut breach_no_redundancy = Campaign::paper_batch_phase(master_seed);
+    breach_no_redundancy.outages = vec![
+        Outage::security_breach(3, 0.0, 3.0),
+        Outage::new(
+            4,
+            0.0,
+            21.0 * 24.0,
+            spice_gridsim::failure::OutageCause::MiddlewareImmaturity,
+        ),
+    ];
+    let no_red = breach_no_redundancy.run();
+
+    let mut breach_redundant = Campaign::paper_batch_phase(master_seed);
+    breach_redundant.outages = vec![Outage::security_breach(3, 0.0, 3.0)];
+    let red = breach_redundant.run();
+
+    let mut r = Report::new(
+        "T-batch",
+        "72-simulation production campaign on the federated US–UK grid (§III, §V-C-4)",
+    );
+    r.fact("jobs", fed_result.records.len())
+        .fact(
+            "campaign CPU-hours",
+            format!("{:.0} (paper: ~75,000)", fed_result.cpu_hours),
+        )
+        .fact(
+            "federated makespan",
+            format!(
+                "{:.1} days (paper: < 1 week) — under a week: {}",
+                fed_result.makespan_days(),
+                fed_result.makespan_days() < 7.0
+            ),
+        )
+        .fact(
+            "best single site (NCSA) makespan",
+            format!("{:.1} days", single_result.makespan_days()),
+        )
+        .fact(
+            "grid speedup",
+            format!(
+                "{:.1}×",
+                single_result.makespan_hours / fed_result.makespan_hours
+            ),
+        );
+    // Ablation: clairvoyant plan vs event-driven FCFS execution.
+    let des_result = run_des(&federated);
+    r.fact(
+        "plan vs DES execution",
+        format!(
+            "{:.1} vs {:.1} days (coordination gap {:.1}×)",
+            fed_result.makespan_days(),
+            des_result.makespan_days(),
+            des_result.makespan_hours / fed_result.makespan_hours
+        ),
+    );
+    let (mean_w, med_w, max_w) = wait_summary(&fed_result);
+    r.fact(
+        "queue waits (mean/median/max h)",
+        format!("{mean_w:.1} / {med_w:.1} / {max_w:.1}"),
+    );
+    r.fact(
+        "federation utilization",
+        format!(
+            "{:.0}%",
+            100.0 * federation_utilization(&fed_result, &federated.federation)
+        ),
+    );
+    let fed = Federation::paper_us_uk();
+    let rows: Vec<Vec<String>> = site_utilization(&fed_result, &fed)
+        .iter()
+        .map(|&(id, u)| {
+            let jobs = fed_result
+                .jobs_per_site
+                .iter()
+                .find(|&&(s, _)| s == id)
+                .map(|&(_, n)| n)
+                .unwrap_or(0);
+            vec![
+                fed.site(id).name.clone(),
+                jobs.to_string(),
+                format!("{:.0}%", u * 100.0),
+            ]
+        })
+        .collect();
+    r.table(
+        "per-site placement (Fig. 5 resources)",
+        vec!["site".into(), "jobs".into(), "utilization".into()],
+        rows,
+    );
+    r.fact(
+        "T-fail: breach, no UK redundancy",
+        format!("{:.1} days", no_red.makespan_days()),
+    )
+    .fact(
+        "T-fail: breach, Leeds redundant",
+        format!("{:.1} days", red.makespan_days()),
+    )
+    .fact(
+        "redundancy saved",
+        format!("{:.1} days", no_red.makespan_days() - red.makespan_days()),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_batch_shape_holds() {
+        let r = run(77);
+        let text = r.render();
+        assert!(text.contains("under a week: true"), "{text}");
+        assert!(text.contains("grid speedup"));
+    }
+
+    #[test]
+    fn redundancy_never_hurts() {
+        // Extract the two T-fail numbers and compare.
+        let r = run(78);
+        let get = |key: &str| -> f64 {
+            r.facts
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.split_whitespace().next().unwrap().parse().unwrap())
+                .unwrap()
+        };
+        let no_red = get("T-fail: breach, no UK redundancy");
+        let red = get("T-fail: breach, Leeds redundant");
+        assert!(red <= no_red, "redundant {red} must be ≤ non-redundant {no_red}");
+    }
+}

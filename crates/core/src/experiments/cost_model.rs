@@ -1,0 +1,74 @@
+//! T-cost — §I's back-of-envelope and §II's SMD-JE reduction, reproduced
+//! as checkable numbers.
+
+use crate::costing::{CostModel, SmdJeCosting};
+use crate::report::Report;
+
+/// Run T-cost.
+pub fn run() -> Report {
+    let m = CostModel::paper();
+    let c = SmdJeCosting::paper();
+    let mut r = Report::new(
+        "T-cost",
+        "Computational cost model: back-of-envelope + SMD-JE reduction (§I, §II)",
+    );
+    r.fact("system size (atoms)", m.atoms)
+        .fact(
+            "reference point",
+            format!("{} h per ns on {} procs", m.hours_per_ns, m.ref_procs),
+        )
+        .fact(
+            "CPU-hours per ns",
+            format!("{:.0} (paper: ~3000)", m.cpu_hours_per_ns()),
+        )
+        .fact(
+            "vanilla 10 µs",
+            format!("{:.2e} CPU-hours (paper: 3×10⁷)", m.vanilla_cpu_hours(10.0)),
+        )
+        .fact(
+            "Moore's-law wait for routine 10 µs",
+            format!(
+                "{:.0} years (paper: 'a couple of decades')",
+                m.moores_law_years(10.0, 75_000.0, 18.0)
+            ),
+        )
+        .fact(
+            "SMD-JE total cost",
+            format!("{:.0} CPU-hours", c.total_cpu_hours()),
+        )
+        .fact(
+            "SMD-JE reduction factor",
+            format!("{:.0}× (paper: 50–100×)", c.reduction_factor(&m)),
+        )
+        .fact(
+            "step wall time @128 procs",
+            format!("{:.1} ms", m.step_wall_ms(128)),
+        )
+        .fact(
+            "step wall time @256 procs",
+            format!("{:.1} ms", m.step_wall_ms(256)),
+        )
+        .fact(
+            "min procs for interactivity (≥1 Hz updates)",
+            format!(
+                "{} (paper: 256)",
+                m.min_procs_for_interactivity(1.0, 10)
+            ),
+        );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_carries_all_paper_numbers() {
+        let r = run();
+        let text = r.render();
+        assert!(text.contains("3000"));
+        assert!(text.contains("3×10⁷"));
+        assert!(text.contains("50–100"));
+        assert!(text.contains("(paper: 256)"));
+    }
+}

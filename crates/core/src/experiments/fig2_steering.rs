@@ -1,0 +1,77 @@
+//! F2 — Fig. 2: the RealityGrid steering architecture, demonstrated
+//! live: client ↔ grid service ↔ simulation ↔ visualizer message flows,
+//! including the direct visualizer → simulation channel and the
+//! checkpoint verb.
+
+use crate::config::Scale;
+use crate::pipeline::pore_simulation;
+use crate::report::Report;
+use spice_md::Vec3;
+use spice_steering::service::GridService;
+use spice_steering::{SteeringClient, SteeringHook, Visualizer};
+use spice_stats::rng::SeedSequence;
+
+/// Run F2.
+pub fn run(scale: Scale, master_seed: u64) -> Report {
+    let seeds = SeedSequence::new(master_seed);
+    let service = GridService::shared();
+    let mut sim = pore_simulation(scale, seeds.stream(0));
+    let lead = sim.force_field().topology().group("dna").expect("dna")[0];
+    let mut hook = SteeringHook::attach(service.clone(), 10, vec![lead]);
+    let client = SteeringClient::attach(service.clone(), hook.component_id());
+    let mut vis = Visualizer::attach(service.clone(), hook.component_id());
+
+    // The archetypal session: monitor, adjust a parameter, checkpoint,
+    // steer through the direct channel, keep running.
+    client.set_param("target_temperature", 300.0);
+    client.checkpoint("f2-demo");
+    vis.steer(vec![lead], Vec3::new(0.0, 0.0, 2.0)); // direct channel
+    let steps = match scale {
+        Scale::Test => 100,
+        Scale::Bench => 400,
+        Scale::Paper => 2_000,
+    };
+    sim.run(steps, &mut [&mut hook]).expect("steered run");
+    let mut frames = 0u64;
+    while vis.render_next().is_some() {
+        frames += 1;
+    }
+    let routed = service.lock().delivered();
+    let checkpoints = service.lock().checkpoint_labels();
+
+    let mut r = Report::new(
+        "F2",
+        "RealityGrid steering architecture exercised end-to-end (Fig. 2)",
+    );
+    r.fact("components", "simulation, visualizer, steering client, grid service")
+        .fact("frames emitted", hook.frames_emitted())
+        .fact("frames rendered", frames)
+        .fact("messages routed", routed)
+        .fact("params applied", format!("{:?}", hook.params()))
+        .fact("direct-channel forces", hook.forces_applied())
+        .fact("checkpoints stored", format!("{checkpoints:?}"));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_exercises_every_flow() {
+        let r = run(Scale::Test, 2);
+        let text = r.render();
+        assert!(text.contains("target_temperature"));
+        assert!(text.contains("f2-demo"));
+        // Frames flowed and at least one direct force was applied.
+        let frames: u64 = r
+            .facts
+            .iter()
+            .find(|(k, _)| k == "frames rendered")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!(frames > 0);
+    }
+}

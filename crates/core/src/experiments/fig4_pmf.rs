@@ -1,0 +1,178 @@
+//! F4 — Fig. 4(a–d) + the §IV parameter table (T-opt): PMF Φ vs COM
+//! displacement for every (κ, v) cell, the cost-normalized statistical
+//! and systematic errors, and the optimal-parameter selection.
+
+use crate::config::Scale;
+use crate::pipeline::{run_sweep, SweepResult};
+use crate::report::Report;
+use spice_smd::PullProtocol;
+
+/// Run the full Fig. 4 sweep and format it.
+pub fn run(scale: Scale, master_seed: u64) -> Report {
+    let sweep = run_sweep(scale, master_seed);
+    report(&sweep)
+}
+
+/// Format an already-computed sweep.
+pub fn report(sweep: &SweepResult) -> Report {
+    let mut r = Report::new(
+        "F4",
+        "PMF vs displacement for the (κ, v) sweep; optimal-parameter selection (Fig. 4, §IV)",
+    );
+    r.fact(
+        "velocity scaling",
+        format!(
+            "paper labels × {} (coarse-grained substitute; ratios preserved)",
+            sweep.scale.velocity_factor()
+        ),
+    );
+
+    // Panels (a)–(c): one table per κ, columns per v.
+    for &kappa in &PullProtocol::KAPPA_GRID {
+        let cells: Vec<_> = sweep
+            .cells
+            .iter()
+            .filter(|c| c.kappa_pn_per_a == kappa)
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let npts = cells[0].curve.points.len();
+        let mut header = vec!["COM disp (Å)".to_string()];
+        header.extend(cells.iter().map(|c| format!("Φ @ v={}", c.v_label)));
+        let mut rows = Vec::with_capacity(npts);
+        for i in 0..npts {
+            let mut row = vec![format!("{:.2}", cells[0].curve.points[i].com_disp)];
+            for c in &*cells {
+                row.push(
+                    c.curve
+                        .points
+                        .get(i)
+                        .map(|p| format!("{:.3}", p.phi))
+                        .unwrap_or_default(),
+                );
+            }
+            rows.push(row);
+        }
+        r.table(
+            format!("Fig. 4 panel: κ = {kappa} pN/Å (Φ in kcal/mol)"),
+            header,
+            rows,
+        );
+    }
+
+    // Panel (d): κ sweep at v = 12.5.
+    {
+        let cells: Vec<_> = sweep.cells.iter().filter(|c| c.v_label == 12.5).collect();
+        if !cells.is_empty() {
+            let npts = cells[0].curve.points.len();
+            let mut header = vec!["COM disp (Å)".to_string()];
+            header.extend(cells.iter().map(|c| format!("Φ @ κ={}", c.kappa_pn_per_a)));
+            let mut rows = Vec::with_capacity(npts);
+            for i in 0..npts {
+                let mut row = vec![format!("{:.2}", cells[0].curve.points[i].com_disp)];
+                for c in &*cells {
+                    row.push(
+                        c.curve
+                            .points
+                            .get(i)
+                            .map(|p| format!("{:.3}", p.phi))
+                            .unwrap_or_default(),
+                    );
+                }
+                rows.push(row);
+            }
+            r.table("Fig. 4d: v = 12.5 Å/ns, κ sweep", header, rows);
+        }
+    }
+
+    // T-opt: the error table.
+    let rows: Vec<Vec<String>> = sweep
+        .table
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}", c.kappa_pn_per_a),
+                format!("{}", c.v_a_per_ns),
+                format!("{:.3}", c.sigma_stat),
+                format!("{:.3}", c.sigma_sys),
+                if c.delta_vs_slower.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{:.3}", c.delta_vs_slower)
+                },
+                if c.covered { "yes".into() } else { "NO".into() },
+                format!("{:.3}", c.score()),
+            ]
+        })
+        .collect();
+    r.table(
+        "§IV error analysis (σ_stat cost-normalized per §IV-C)",
+        vec![
+            "κ (pN/Å)".into(),
+            "v (Å/ns)".into(),
+            "σ_stat".into(),
+            "σ_sys".into(),
+            "Δ vs v/2".into(),
+            "covered".into(),
+            "score".into(),
+        ],
+        rows,
+    );
+    r.fact(
+        "selected optimum",
+        format!(
+            "κ = {} pN/Å, v = {} Å/ns (converged: {})",
+            sweep.selection.kappa_pn_per_a, sweep.selection.v_a_per_ns, sweep.selection.converged
+        ),
+    );
+    r.fact(
+        "κ ranking (best score per κ)",
+        format!("{:?}", sweep.selection.kappa_ranking),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_twelve_cells() {
+        let sweep = run_sweep(Scale::Test, 99);
+        assert_eq!(sweep.cells.len(), 12);
+        assert_eq!(sweep.table.len(), 12);
+        for cell in &sweep.cells {
+            assert!(cell.sigma_stat_norm.is_finite());
+            assert!(cell.sigma_sys.is_finite());
+            assert!(!cell.curve.points.is_empty());
+        }
+        // Selection lands on a grid point.
+        assert!([10.0, 100.0, 1000.0].contains(&sweep.selection.kappa_pn_per_a));
+        assert!([12.5, 25.0, 50.0, 100.0].contains(&sweep.selection.v_a_per_ns));
+    }
+
+    #[test]
+    fn cost_normalization_penalizes_slow_pulls() {
+        let sweep = run_sweep(Scale::Test, 100);
+        // At fixed κ, σ_stat_norm(v=12.5)/σ_stat_raw = √8 relative scaling
+        // vs v=100 by construction.
+        let slow = sweep.cell(100.0, 12.5).unwrap();
+        let ratio = slow.sigma_stat_norm / slow.sigma_stat_raw;
+        assert!((ratio - 8f64.sqrt()).abs() < 1e-9, "got {ratio}");
+        let fast = sweep.cell(100.0, 100.0).unwrap();
+        assert!((fast.sigma_stat_norm / fast.sigma_stat_raw - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_contains_all_panels() {
+        let sweep = run_sweep(Scale::Test, 101);
+        let r = report(&sweep);
+        let text = r.render();
+        assert!(text.contains("κ = 10 pN/Å"));
+        assert!(text.contains("κ = 100 pN/Å"));
+        assert!(text.contains("κ = 1000 pN/Å"));
+        assert!(text.contains("Fig. 4d"));
+        assert!(text.contains("selected optimum"));
+    }
+}

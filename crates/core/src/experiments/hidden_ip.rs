@@ -1,0 +1,97 @@
+//! T-hidden — §V-C-1: the hidden-IP problem, PSC's gateway mitigation,
+//! its TCP-only restriction, and the gateway bottleneck under load.
+
+use crate::report::Report;
+use spice_gridsim::hidden_ip::{connect_inbound, effective_path, ConnectError, Gateway, Protocol};
+use spice_gridsim::network::QosProfile;
+use spice_gridsim::resource::paper_federation_sites;
+
+/// Per-stream goodput (Mbit/s) through the PSC gateway vs stream count.
+pub fn gateway_bottleneck_sweep() -> Vec<(u32, f64)> {
+    let gw = Gateway::psc();
+    let base = QosProfile::TransAtlanticLightpath.link();
+    [1u32, 2, 4, 8, 16, 32, 64, 128, 256]
+        .iter()
+        .map(|&n| {
+            let p = effective_path(base, Some((&gw, n)));
+            (n, p.bandwidth_mbps())
+        })
+        .collect()
+}
+
+/// Run T-hidden.
+pub fn run() -> Report {
+    let sites = paper_federation_sites();
+    let gw = Gateway::psc();
+
+    let mut rows = Vec::new();
+    for site in &sites {
+        let gateway = if site.has_gateway { Some(&gw) } else { None };
+        let tcp = match connect_inbound(site, gateway, Protocol::Tcp) {
+            Ok(false) => "direct".to_string(),
+            Ok(true) => "via gateway".to_string(),
+            Err(ConnectError::HiddenNoGateway) => "UNREACHABLE (hidden IP)".to_string(),
+            Err(ConnectError::GatewayNoUdp) => "unreachable".to_string(),
+        };
+        let udp = match connect_inbound(site, gateway, Protocol::Udp) {
+            Ok(false) => "direct".to_string(),
+            Ok(true) => "via gateway".to_string(),
+            Err(ConnectError::HiddenNoGateway) => "UNREACHABLE (hidden IP)".to_string(),
+            Err(ConnectError::GatewayNoUdp) => "UNSUPPORTED (gateway, no UDP)".to_string(),
+        };
+        rows.push(vec![site.name.clone(), tcp, udp]);
+    }
+
+    let mut r = Report::new(
+        "T-hidden",
+        "Hidden-IP addressability and the PSC gateway (§V-C-1)",
+    );
+    r.table(
+        "inbound connectivity to compute nodes (visualizer → master process)",
+        vec!["site".into(), "TCP".into(), "UDP".into()],
+        rows,
+    );
+    let sweep = gateway_bottleneck_sweep();
+    let pts: Vec<Vec<f64>> = sweep.iter().map(|&(n, bw)| vec![n as f64, bw]).collect();
+    r.series(
+        "per-stream goodput through the PSC gateway nodes",
+        vec!["concurrent streams".into(), "goodput (Mbit/s)".into()],
+        &pts,
+    );
+    r.fact(
+        "gateway",
+        format!(
+            "{} nodes × {:.0} Mbit/s each; TCP only",
+            gw.nodes, gw.node_bandwidth_mbps
+        ),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_flags_hpcx_unreachable_and_psc_routed() {
+        let r = run();
+        let text = r.render();
+        assert!(text.contains("UNREACHABLE (hidden IP)"), "{text}");
+        assert!(text.contains("via gateway"));
+        assert!(text.contains("UNSUPPORTED (gateway, no UDP)"));
+    }
+
+    #[test]
+    fn bottleneck_strictly_degrades() {
+        let sweep = gateway_bottleneck_sweep();
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1,
+                "goodput must fall with more streams: {w:?}"
+            );
+        }
+        // At 256 streams the gateway (800 Mbit/s total) is the bottleneck.
+        let last = sweep.last().unwrap();
+        assert!(last.1 < 10.0, "expected severe bottleneck, got {}", last.1);
+    }
+}

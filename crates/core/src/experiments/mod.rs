@@ -1,0 +1,61 @@
+//! One driver per paper artifact. Each returns a [`crate::Report`]; the
+//! bench crate and EXPERIMENTS.md consume them. IDs follow DESIGN.md's
+//! experiment index.
+
+pub mod bidirectional;
+pub mod campaign;
+pub mod cost_model;
+pub mod fig1_system;
+pub mod fig2_steering;
+pub mod fig3_translocation;
+pub mod fig4_pmf;
+pub mod hidden_ip;
+pub mod imd_qos;
+pub mod reservations;
+pub mod subtrajectory;
+pub mod ti_extension;
+
+use crate::config::Scale;
+use crate::report::Report;
+
+/// Run every experiment at the given scale; returns reports in index
+/// order. (The Fig. 4 sweep dominates the cost.)
+pub fn run_all(scale: Scale, master_seed: u64) -> Vec<Report> {
+    vec![
+        fig1_system::run(scale, master_seed),
+        fig2_steering::run(scale, master_seed),
+        fig3_translocation::run(scale, master_seed),
+        fig4_pmf::run(scale, master_seed),
+        subtrajectory::run(scale, master_seed),
+        cost_model::run(),
+        campaign::run(master_seed),
+        imd_qos::run(scale, master_seed),
+        hidden_ip::run(),
+        reservations::run(master_seed),
+        ti_extension::run(scale, master_seed),
+        bidirectional::run(scale, master_seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_experiments_produce_reports() {
+        let reports = run_all(Scale::Test, 123);
+        assert_eq!(reports.len(), 12);
+        for r in &reports {
+            assert!(!r.id.is_empty());
+            assert!(!r.render().is_empty());
+        }
+        // Every index id appears once.
+        let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+        for want in [
+            "F1", "F2", "F3", "F4", "T-subtraj", "T-cost", "T-batch", "T-imd", "T-hidden",
+            "T-resv", "T-ti", "T-bidir",
+        ] {
+            assert!(ids.contains(&want), "missing experiment {want}: {ids:?}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! T-ti — §VI: "the grid computing infrastructure used here for
+//! computing free energies by SMD-JE can be easily extended to compute
+//! free energies using different approaches (e.g. thermodynamic
+//! integration)". TI windows are independent jobs — the same
+//! grid-amenable decomposition — and the TI profile cross-validates the
+//! JE estimate.
+
+use crate::config::Scale;
+use crate::pipeline::{pore_simulation, run_cell};
+use crate::report::Report;
+use crate::ti::{ti_profile, umbrella_windows};
+use spice_jarzynski::wham::wham;
+use spice_md::units::KT_300;
+use spice_stats::rng::SeedSequence;
+
+/// Run T-ti.
+pub fn run(scale: Scale, master_seed: u64) -> Report {
+    let seeds = SeedSequence::new(master_seed);
+    let span = scale.pull_distance();
+    let n_windows = match scale {
+        Scale::Test => 5,
+        Scale::Bench => 9,
+        Scale::Paper => 21,
+    };
+    let ti = ti_profile(
+        |seed| pore_simulation(scale, seed),
+        scale,
+        span,
+        n_windows,
+        100.0,
+        seeds.child(1),
+    );
+    let je = run_cell(scale, 100.0, 12.5, seeds.child(2));
+
+    // WHAM over the same umbrella ladder: the third corner of the
+    // JE ↔ TI ↔ WHAM triangle, from identical window data layout.
+    let windows = umbrella_windows(
+        |seed| pore_simulation(scale, seed),
+        scale,
+        span,
+        n_windows,
+        100.0,
+        seeds.child(4),
+    );
+    let wham_result = wham(
+        &windows,
+        -1.0,
+        span + 2.0,
+        ((span + 3.0) * 4.0) as usize,
+        KT_300,
+        2_000,
+        1e-8,
+    );
+    // Gauge-consistent comparison: TI and JE report Φ(span) − Φ(0), so
+    // take the same difference from the WHAM profile (whose own gauge is
+    // its minimum).
+    let phi_near = |x0: f64| -> f64 {
+        wham_result
+            .profile
+            .iter()
+            .min_by(|a, b| (a.0 - x0).abs().total_cmp(&(b.0 - x0).abs()))
+            .map(|&(_, p)| p)
+            .unwrap_or(f64::NAN)
+    };
+    let wham_end = phi_near(span) - phi_near(0.0);
+
+    // Agreement metric: RMS(TI − JE) over the JE grid.
+    let mut sum = 0.0;
+    let mut n = 0;
+    for p in je.curve.points.iter().skip(1) {
+        let d = ti.phi_at(p.guide_disp) - p.phi;
+        sum += d * d;
+        n += 1;
+    }
+    let rms = (sum / n.max(1) as f64).sqrt();
+
+    let mut r = Report::new(
+        "T-ti",
+        "Thermodynamic-integration extension cross-validates SMD-JE (§VI)",
+    );
+    r.fact("TI windows (independent grid jobs)", n_windows)
+        .fact("JE realizations", je.n_realizations)
+        .fact("RMS(TI − JE) (kcal/mol)", format!("{rms:.3}"))
+        .fact(
+            "profile end values (TI / JE / WHAM)",
+            format!(
+                "{:.2} / {:.2} / {:.2}",
+                ti.profile.last().map(|&(_, p)| p).unwrap_or(f64::NAN),
+                je.curve.points.last().map(|p| p.phi).unwrap_or(f64::NAN),
+                wham_end
+            ),
+        )
+        .fact(
+            "WHAM convergence",
+            format!(
+                "{} iterations, residual {:.1e}",
+                wham_result.iterations, wham_result.residual
+            ),
+        );
+    let rows: Vec<Vec<f64>> = ti
+        .profile
+        .iter()
+        .map(|&(s, phi)| vec![s, phi, je.curve.phi_at(s).unwrap_or(f64::NAN)])
+        .collect();
+    r.series(
+        "Φ(s): TI vs SMD-JE",
+        vec!["s (Å)".into(), "Φ_TI".into(), "Φ_JE".into()],
+        &rows,
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ti_and_je_agree_in_order_of_magnitude() {
+        let r = run(Scale::Test, 61);
+        let rms: f64 = r
+            .facts
+            .iter()
+            .find(|(k, _)| k.starts_with("RMS"))
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!(rms.is_finite());
+        // Both methods measure the same profile; at Test scale they must
+        // agree within a few kcal/mol (profiles themselves span ~5–20).
+        assert!(rms < 10.0, "TI and JE disagree wildly: RMS {rms}");
+    }
+
+    #[test]
+    fn report_has_comparison_series() {
+        let r = run(Scale::Test, 62);
+        assert!(r.render().contains("Φ_TI"));
+        assert!(r.render().contains("WHAM convergence"));
+    }
+}

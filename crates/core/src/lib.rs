@@ -1,0 +1,38 @@
+//! # spice-core
+//!
+//! The SPICE application: everything above the substrates. This crate
+//! wires the pore model, SMD, Jarzynski analysis, steering framework and
+//! grid simulator into the paper's actual workflow and into one
+//! experiment driver per figure/claim (see DESIGN.md's experiment index).
+//!
+//! * [`config`] — run scales (test / bench / paper) and the velocity
+//!   scaling the coarse-grained substitute uses (documented in
+//!   DESIGN.md).
+//! * [`costing`] — the paper's §I back-of-envelope cost model, the
+//!   SMD-JE 50–100× reduction, and the strong-scaling model behind the
+//!   "interactivity needs 256 processors" claim.
+//! * [`phases`] — the three-phase scientific workflow: pre-processing /
+//!   priming, interactive (IMD + haptics), and the production batch on
+//!   the federated grid.
+//! * [`pipeline`] — SMD-JE → PMF for one (κ, v) cell and the full Fig. 4
+//!   sweep with error analysis and optimal-parameter selection.
+//! * [`ti`] — the §VI extension: thermodynamic integration on the same
+//!   infrastructure, cross-validating the JE profiles.
+//! * [`experiments`] — one driver per paper artifact (F1–F5, T-*), each
+//!   producing a renderable [`report::Report`].
+//! * [`report`] — plain-text tables/series shared by examples, benches
+//!   and EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod costing;
+pub mod experiments;
+pub mod phases;
+pub mod pipeline;
+pub mod report;
+pub mod ti;
+
+pub use config::Scale;
+pub use pipeline::{run_sweep, PmfCell, SweepResult};
+pub use report::Report;

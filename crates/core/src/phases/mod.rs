@@ -1,0 +1,16 @@
+//! The three-phase SPICE workflow (§III):
+//!
+//! 1. [`preprocess`] — static visualization + priming simulations that
+//!    bound the parameter search space,
+//! 2. [`interactive`] — IMD with visualization and haptics over
+//!    QoS-guaranteed networks,
+//! 3. [`batch`] — the 72-simulation production campaign on the federated
+//!    grid.
+
+pub mod batch;
+pub mod interactive;
+pub mod preprocess;
+
+pub use batch::{run_batch, BatchResult};
+pub use interactive::{run_interactive, InteractiveResult};
+pub use preprocess::{run_priming, PrimingResult};

@@ -1,0 +1,140 @@
+//! Plain-text reporting shared by experiment drivers, examples and
+//! benches, and pasted into EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A renderable experiment report: key/value facts, tables and series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Experiment id (e.g. "F4a", "T-batch").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Key facts in order.
+    pub facts: Vec<(String, String)>,
+    /// Tables: (caption, header, rows).
+    pub tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Append a key/value fact.
+    pub fn fact(&mut self, key: impl Into<String>, value: impl std::fmt::Display) -> &mut Self {
+        self.facts.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Append a table.
+    pub fn table(
+        &mut self,
+        caption: impl Into<String>,
+        header: Vec<String>,
+        rows: Vec<Vec<String>>,
+    ) -> &mut Self {
+        for r in &rows {
+            assert_eq!(r.len(), header.len(), "ragged table row");
+        }
+        self.tables.push((caption.into(), header, rows));
+        self
+    }
+
+    /// Append an (x, y…) series as a table.
+    pub fn series(
+        &mut self,
+        caption: impl Into<String>,
+        columns: Vec<String>,
+        points: &[Vec<f64>],
+    ) -> &mut Self {
+        let rows = points
+            .iter()
+            .map(|p| p.iter().map(|v| format!("{v:.4}")).collect())
+            .collect();
+        self.table(caption, columns, rows)
+    }
+
+    /// Render as readable plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== [{}] {} ==", self.id, self.title);
+        for (k, v) in &self.facts {
+            let _ = writeln!(out, "  {k}: {v}");
+        }
+        for (caption, header, rows) in &self.tables {
+            let _ = writeln!(out, "  -- {caption} --");
+            let widths: Vec<usize> = header
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    rows.iter()
+                        .map(|r| r[i].len())
+                        .chain(std::iter::once(h.len()))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .collect();
+            let fmt_row = |cells: &[String]| -> String {
+                cells
+                    .iter()
+                    .zip(&widths)
+                    .map(|(c, w)| format!("{c:>w$}", w = w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            };
+            let _ = writeln!(out, "  {}", fmt_row(header));
+            for r in rows {
+                let _ = writeln!(out, "  {}", fmt_row(r));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_facts_and_tables() {
+        let mut r = Report::new("T-x", "demo");
+        r.fact("makespan", "5.2 days");
+        r.table(
+            "results",
+            vec!["site".into(), "jobs".into()],
+            vec![
+                vec!["NCSA".into(), "30".into()],
+                vec!["SDSC".into(), "22".into()],
+            ],
+        );
+        let text = r.render();
+        assert!(text.contains("[T-x] demo"));
+        assert!(text.contains("makespan: 5.2 days"));
+        assert!(text.contains("NCSA"));
+        assert!(text.contains("site"));
+    }
+
+    #[test]
+    fn series_formats_floats() {
+        let mut r = Report::new("F4", "pmf");
+        r.series(
+            "phi",
+            vec!["s".into(), "phi".into()],
+            &[vec![0.0, 0.0], vec![1.0, 2.5]],
+        );
+        assert!(r.render().contains("2.5000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut r = Report::new("x", "y");
+        r.table("t", vec!["a".into()], vec![vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic discrete-event engine.
+//!
+//! Time is simulated hours (f64, totally ordered via `total_cmp`); events
+//! at equal times pop in insertion order (FIFO tie-break via a sequence
+//! counter), so simulations are bit-reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in hours.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Hours as raw f64.
+    pub fn hours(self) -> f64 {
+        self.0
+    }
+
+    /// Construct from hours.
+    pub fn from_hours(h: f64) -> Self {
+        assert!(h.is_finite(), "simulation time must be finite");
+        SimTime(h)
+    }
+
+    /// Time `dh` hours later.
+    pub fn after(self, dh: f64) -> SimTime {
+        SimTime::from_hours(self.0 + dh)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behavior on BinaryHeap (max-heap).
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `t`.
+    ///
+    /// # Panics
+    /// Panics when scheduling into the past (before the last popped
+    /// event).
+    pub fn schedule(&mut self, t: SimTime, payload: E) {
+        assert!(
+            t >= self.now,
+            "cannot schedule into the past: {} < {}",
+            t.hours(),
+            self.now.hours()
+        );
+        self.heap.push(Entry {
+            time: t,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` `dh` hours from the current time.
+    pub fn schedule_in(&mut self, dh: f64, payload: E) {
+        let t = self.now.after(dh.max(0.0));
+        self.schedule(t, payload);
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_hours(3.0), "c");
+        q.schedule(SimTime::from_hours(1.0), "a");
+        q.schedule(SimTime::from_hours(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_hours(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_hours(2.5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now().hours(), 2.5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_hours(1.0), "first");
+        q.pop();
+        q.schedule_in(0.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.hours(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_hours(2.0), ());
+        q.pop();
+        q.schedule(SimTime::from_hours(1.0), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_hours(1.0), ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn negative_relative_delay_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule_in(-5.0, "now");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,117 @@
+//! Outage injection (§V-C-4).
+//!
+//! "for a duration close to SC05, the number of UK resources whose
+//! utilization could be coordinated with the US TeraGrid nodes was
+//! reduced to one. As luck would have it there was then a security breach
+//! on that one UK node. It took several weeks to sanitize that node."
+
+use crate::resource::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// Why a site went down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutageCause {
+    /// Hardware failure.
+    Hardware,
+    /// Security incident + sanitization (weeks-scale).
+    SecurityBreach,
+    /// Scheduled maintenance.
+    Maintenance,
+    /// Immature middleware deployment making the site unusable for
+    /// coupled runs (§V-C-2).
+    MiddlewareImmaturity,
+}
+
+/// A full-site outage window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Affected site.
+    pub site: SiteId,
+    /// Start (hours from campaign begin).
+    pub start: f64,
+    /// End (hours).
+    pub end: f64,
+    /// Cause (for reporting).
+    pub cause: OutageCause,
+}
+
+impl Outage {
+    /// Construct an outage.
+    ///
+    /// # Panics
+    /// Panics on an empty window.
+    pub fn new(site: SiteId, start: f64, end: f64, cause: OutageCause) -> Self {
+        assert!(end > start, "outage window must be non-empty");
+        Outage {
+            site,
+            start,
+            end,
+            cause,
+        }
+    }
+
+    /// Duration in hours.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// True when the outage covers time `t`.
+    pub fn covers(&self, t: f64) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+
+    /// The paper's security-breach scenario: the given site is down for
+    /// `weeks` weeks starting at `start_h`.
+    pub fn security_breach(site: SiteId, start_h: f64, weeks: f64) -> Self {
+        Outage::new(site, start_h, start_h + weeks * 7.0 * 24.0, OutageCause::SecurityBreach)
+    }
+}
+
+/// Blocked windows per site, as consumed by the capacity profiles.
+pub fn blocked_windows(outages: &[Outage], site: SiteId) -> Vec<(f64, f64)> {
+    outages
+        .iter()
+        .filter(|o| o.site == site)
+        .map(|o| (o.start, o.end))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_is_half_open() {
+        let o = Outage::new(1, 10.0, 20.0, OutageCause::Hardware);
+        assert!(!o.covers(9.9));
+        assert!(o.covers(10.0));
+        assert!(o.covers(19.9));
+        assert!(!o.covers(20.0));
+        assert_eq!(o.duration(), 10.0);
+    }
+
+    #[test]
+    fn security_breach_is_weeks_long() {
+        let o = Outage::security_breach(3, 24.0, 3.0);
+        assert_eq!(o.cause, OutageCause::SecurityBreach);
+        assert_eq!(o.duration(), 3.0 * 168.0);
+    }
+
+    #[test]
+    fn blocked_windows_filters_by_site() {
+        let outs = vec![
+            Outage::new(0, 0.0, 1.0, OutageCause::Hardware),
+            Outage::new(1, 2.0, 3.0, OutageCause::Maintenance),
+            Outage::new(0, 5.0, 6.0, OutageCause::Hardware),
+        ];
+        assert_eq!(blocked_windows(&outs, 0), vec![(0.0, 1.0), (5.0, 6.0)]);
+        assert_eq!(blocked_windows(&outs, 1), vec![(2.0, 3.0)]);
+        assert!(blocked_windows(&outs, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        Outage::new(0, 5.0, 5.0, OutageCause::Hardware);
+    }
+}

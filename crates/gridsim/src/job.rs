@@ -1,0 +1,114 @@
+//! Jobs: the unit of work the grid schedules.
+//!
+//! The paper's production jobs are MD simulations needing 128 or 256
+//! processors for hours to days; the interactive jobs additionally need
+//! network QoS to the visualization host.
+
+use serde::{Deserialize, Serialize};
+
+/// Job identifier.
+pub type JobId = u32;
+
+/// A batch job demand.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Job {
+    /// Identifier, unique within a campaign.
+    pub id: JobId,
+    /// Human-readable tag (e.g. "smd-k100-v12.5-r03").
+    pub name: String,
+    /// Processors required.
+    pub procs: u32,
+    /// Wall-clock hours on a reference-speed site.
+    pub wall_hours: f64,
+    /// Earliest start (hours from campaign begin).
+    pub release_hours: f64,
+}
+
+impl Job {
+    /// Construct a job.
+    ///
+    /// # Panics
+    /// Panics on zero processors or non-positive duration.
+    pub fn new(id: JobId, name: impl Into<String>, procs: u32, wall_hours: f64) -> Job {
+        assert!(procs > 0, "job needs at least one processor");
+        assert!(wall_hours > 0.0, "job duration must be positive");
+        Job {
+            id,
+            name: name.into(),
+            procs,
+            wall_hours,
+            release_hours: 0.0,
+        }
+    }
+
+    /// CPU-hours consumed on a reference-speed site.
+    pub fn cpu_hours(&self) -> f64 {
+        self.procs as f64 * self.wall_hours
+    }
+}
+
+/// Execution record of a completed job.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct JobRecord {
+    /// Which job.
+    pub job: JobId,
+    /// Site it ran on.
+    pub site: crate::resource::SiteId,
+    /// Submission time (h).
+    pub submitted: f64,
+    /// Start time (h).
+    pub started: f64,
+    /// Finish time (h).
+    pub finished: f64,
+    /// Processors used.
+    pub procs: u32,
+}
+
+impl JobRecord {
+    /// Queue wait (h).
+    pub fn wait(&self) -> f64 {
+        self.started - self.submitted
+    }
+
+    /// Execution time (h).
+    pub fn runtime(&self) -> f64 {
+        self.finished - self.started
+    }
+
+    /// CPU-hours actually consumed.
+    pub fn cpu_hours(&self) -> f64 {
+        self.runtime() * self.procs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_hours_product() {
+        let j = Job::new(1, "sim", 128, 24.0);
+        assert_eq!(j.cpu_hours(), 3072.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_rejected() {
+        Job::new(1, "bad", 0, 1.0);
+    }
+
+    #[test]
+    fn record_accounting() {
+        let r = JobRecord {
+            job: 1,
+            site: 0,
+            submitted: 0.0,
+            started: 2.0,
+            finished: 14.0,
+            procs: 128,
+        };
+        assert_eq!(r.wait(), 2.0);
+        assert_eq!(r.runtime(), 12.0);
+        assert_eq!(r.cpu_hours(), 1536.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # spice-gridsim
+//!
+//! A discrete-event simulator of the federated trans-Atlantic grid the
+//! paper ran on (Fig. 5: US TeraGrid — NCSA, SDSC, PSC — plus the UK
+//! NGS), including every infrastructure phenomenon §V reports:
+//!
+//! * [`event`] — a deterministic discrete-event engine (binary heap,
+//!   FIFO tie-breaking).
+//! * [`resource`] / [`job`] — sites with processor counts and speed
+//!   factors; jobs with processor and wall-time demands.
+//! * [`scheduler`] — per-site FCFS batch queues with backfill, stochastic
+//!   background load, and *advance reservations* including the paper's
+//!   manual-booking error model (§V-C-3: "about a dozen emails correcting
+//!   three distinct errors introduced by two different administrators").
+//! * [`federation`] — grids-of-grids, cross-grid co-scheduling and its
+//!   per-grid success decay (§V-C-6).
+//! * [`network`] — links with latency/jitter/loss, general-purpose vs
+//!   optical-lightpath QoS profiles (§II: UKLight/GLIF), and path
+//!   composition.
+//! * [`hidden_ip`] — the hidden-IP addressability problem and PSC-style
+//!   gateway nodes (qsockets/AGN: TCP-only, shared-gateway bottleneck;
+//!   §V-C-1).
+//! * [`failure`] — outage injection, including the security-breach
+//!   scenario that removed the single usable UK node for weeks (§V-C-4).
+//! * [`campaign`] — the production batch phase: map the paper's 72
+//!   simulations onto the federation and measure makespan and CPU-hours
+//!   (T-batch: < 1 week, ~75,000 CPU-hours).
+//! * [`des`] — event-driven (non-clairvoyant) execution of the same
+//!   campaign through FCFS queues, for plan-vs-reality ablations.
+//! * [`metrics`] — utilization, wait-time and makespan accounting.
+//! * [`trace`] — text Gantt charts and job listings of campaign runs.
+//!
+//! Everything is deterministic under a seed; stochastic elements (queue
+//! waits, jitter, human booking errors) use `spice-stats` seed streams.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod des;
+pub mod event;
+pub mod failure;
+pub mod federation;
+pub mod hidden_ip;
+pub mod job;
+pub mod metrics;
+pub mod network;
+pub mod resource;
+pub mod scheduler;
+pub mod trace;
+
+pub use campaign::{Campaign, CampaignResult};
+pub use event::{EventQueue, SimTime};
+pub use failure::Outage;
+pub use federation::{Federation, Grid};
+pub use job::{Job, JobId};
+pub use resource::{Site, SiteId};

@@ -1,0 +1,79 @@
+//! Campaign metrics: utilization, wait statistics, throughput.
+
+use crate::campaign::CampaignResult;
+use crate::federation::Federation;
+use crate::job::JobRecord;
+
+/// Per-site utilization over the campaign makespan: committed CPU-hours /
+/// (procs × makespan). Returns `(site_id, utilization)` pairs.
+pub fn site_utilization(result: &CampaignResult, federation: &Federation) -> Vec<(u32, f64)> {
+    let span = result.makespan_hours.max(1e-12);
+    federation
+        .sites
+        .iter()
+        .map(|site| {
+            let used: f64 = result
+                .records
+                .iter()
+                .filter(|r| r.site == site.id)
+                .map(JobRecord::cpu_hours)
+                .sum();
+            (site.id, used / (site.procs as f64 * span))
+        })
+        .collect()
+}
+
+/// Aggregate federation utilization.
+pub fn federation_utilization(result: &CampaignResult, federation: &Federation) -> f64 {
+    let span = result.makespan_hours.max(1e-12);
+    result.cpu_hours / (federation.total_procs() as f64 * span)
+}
+
+/// Throughput in jobs/day.
+pub fn throughput_per_day(result: &CampaignResult) -> f64 {
+    result.records.len() as f64 / result.makespan_days().max(1e-12)
+}
+
+/// Distribution summary of queue waits: (mean, median, max) in hours.
+pub fn wait_summary(result: &CampaignResult) -> (f64, f64, f64) {
+    let waits: Vec<f64> = result.records.iter().map(JobRecord::wait).collect();
+    (
+        spice_stats::mean(&waits),
+        spice_stats::descriptive::median(&waits),
+        waits.iter().cloned().fold(0.0, f64::max),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+
+    #[test]
+    fn utilization_bounded() {
+        let c = Campaign::paper_batch_phase(4);
+        let r = c.run();
+        for (_, u) in site_utilization(&r, &c.federation) {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u} out of range");
+        }
+        let total = federation_utilization(&r, &c.federation);
+        assert!(total > 0.05 && total <= 1.0, "federation utilization {total}");
+    }
+
+    #[test]
+    fn throughput_matches_counts() {
+        let c = Campaign::paper_batch_phase(4);
+        let r = c.run();
+        let t = throughput_per_day(&r);
+        assert!((t - 72.0 / r.makespan_days()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_summary_ordering() {
+        let c = Campaign::paper_batch_phase(4);
+        let r = c.run();
+        let (mean, median, max) = wait_summary(&r);
+        assert!(max >= mean && max >= median);
+        assert!(mean >= 0.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Network modeling: links with latency/jitter/loss, QoS profiles
+//! (general-purpose internet vs optical lightpath), and multi-hop paths.
+//!
+//! §II: interactive MD needs "high quality-of-service (QoS) — as defined
+//! by low latency, jitter and packet loss — networks to ensure reliable
+//! bi-directional communication", provided in 2005 by optical lightpaths
+//! (UKLight / GLIF).
+
+pub mod link;
+pub mod path;
+pub mod tcp;
+
+pub use link::{Link, QosProfile};
+pub use path::Path;

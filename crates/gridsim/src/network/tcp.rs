@@ -1,0 +1,110 @@
+//! TCP macroscopic throughput over long fat networks — the quantitative
+//! version of why the paper needed lightpaths rather than "a general
+//! purpose network".
+//!
+//! The Mathis model: a single standard TCP flow sustains at most
+//! `throughput ≈ MSS / (RTT · √loss)` — on a trans-Atlantic RTT, even
+//! 0.1% loss caps a flow far below what the paper's frame streams need.
+//! Dedicated lightpaths escape by driving loss to ~0.
+
+use super::link::Link;
+
+/// Maximum segment size used by 2005-era stacks (bytes).
+pub const DEFAULT_MSS: u64 = 1460;
+
+/// Mathis et al. steady-state TCP throughput (Mbit/s) for one flow over a
+/// link, capped by the link bandwidth. `C ≈ √(3/2)` for periodic loss.
+pub fn mathis_throughput_mbps(link: &Link, mss_bytes: u64) -> f64 {
+    let rtt_s = 2.0 * link.latency_ms / 1e3;
+    if link.loss <= 0.0 {
+        return link.bandwidth_mbps;
+    }
+    let c = (1.5f64).sqrt();
+    let bytes_per_s = c * mss_bytes as f64 / (rtt_s * link.loss.sqrt());
+    (bytes_per_s * 8.0 / 1e6).min(link.bandwidth_mbps)
+}
+
+/// Number of parallel TCP flows needed to sustain `target_mbps` over the
+/// link (the GridFTP-era workaround for lossy paths). Returns `None` when
+/// even unlimited flows cannot help (target above link capacity).
+pub fn flows_needed(link: &Link, target_mbps: f64, mss_bytes: u64) -> Option<u32> {
+    if target_mbps > link.bandwidth_mbps {
+        return None;
+    }
+    let per_flow = mathis_throughput_mbps(link, mss_bytes);
+    Some((target_mbps / per_flow).ceil().max(1.0) as u32)
+}
+
+/// Time (s) to move `bytes` over the link with one TCP flow at the Mathis
+/// rate (ignoring slow-start — long transfers).
+pub fn transfer_time_s(link: &Link, bytes: u64, mss_bytes: u64) -> f64 {
+    let mbps = mathis_throughput_mbps(link, mss_bytes);
+    (bytes as f64 * 8.0 / 1e6) / mbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::QosProfile;
+
+    #[test]
+    fn lossless_lightpath_hits_line_rate() {
+        let mut lp = QosProfile::TransAtlanticLightpath.link();
+        lp.loss = 0.0;
+        assert_eq!(mathis_throughput_mbps(&lp, DEFAULT_MSS), lp.bandwidth_mbps);
+    }
+
+    #[test]
+    fn commodity_loss_craters_throughput() {
+        let gp = QosProfile::TransAtlanticCommodity.link();
+        // RTT 110 ms, loss 0.5%: Mathis ≈ 1.2 Mbit/s — two orders below
+        // the 100 Mbit/s line rate.
+        let t = mathis_throughput_mbps(&gp, DEFAULT_MSS);
+        assert!(t < 2.0, "got {t} Mbit/s");
+        assert!(t > 0.5);
+    }
+
+    #[test]
+    fn lightpath_vs_commodity_gap_is_large() {
+        let lp = QosProfile::TransAtlanticLightpath.link();
+        let gp = QosProfile::TransAtlanticCommodity.link();
+        let ratio =
+            mathis_throughput_mbps(&lp, DEFAULT_MSS) / mathis_throughput_mbps(&gp, DEFAULT_MSS);
+        assert!(
+            ratio > 50.0,
+            "the paper's QoS argument: lightpath/commodity ratio {ratio:.0}"
+        );
+    }
+
+    #[test]
+    fn throughput_decreases_with_loss_and_rtt() {
+        let mut a = QosProfile::TransAtlanticCommodity.link();
+        let base = mathis_throughput_mbps(&a, DEFAULT_MSS);
+        a.loss *= 4.0;
+        let lossy = mathis_throughput_mbps(&a, DEFAULT_MSS);
+        assert!((lossy - base / 2.0).abs() < 0.05 * base, "√loss scaling");
+        let mut b = QosProfile::TransAtlanticCommodity.link();
+        b.latency_ms *= 2.0;
+        assert!((mathis_throughput_mbps(&b, DEFAULT_MSS) - base / 2.0).abs() < 0.05 * base);
+    }
+
+    #[test]
+    fn parallel_flows_fill_the_gap() {
+        let gp = QosProfile::TransAtlanticCommodity.link();
+        let n = flows_needed(&gp, 50.0, DEFAULT_MSS).unwrap();
+        assert!(n > 10, "lossy trans-Atlantic needs many flows: {n}");
+        assert_eq!(flows_needed(&gp, 1000.0, DEFAULT_MSS), None, "above line rate");
+        let lp = QosProfile::TransAtlanticLightpath.link();
+        // Even the lightpath's residual 1e-6 loss caps a single 90 ms-RTT
+        // flow near 160 Mbit/s — still only a handful of flows needed.
+        assert!(flows_needed(&lp, 900.0, DEFAULT_MSS).unwrap() <= 8);
+    }
+
+    #[test]
+    fn transfer_time_scales_inversely() {
+        let gp = QosProfile::TransAtlanticCommodity.link();
+        let t1 = transfer_time_s(&gp, 10_000_000, DEFAULT_MSS);
+        let t2 = transfer_time_s(&gp, 20_000_000, DEFAULT_MSS);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

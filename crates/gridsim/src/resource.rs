@@ -1,0 +1,175 @@
+//! Sites: the compute resources of the federation.
+//!
+//! Fig. 5's resources, with capacities representative of 2005-era
+//! machines. Speed factors rescale job wall-times (the paper notes each
+//! simulation ran on "128 or 256 processors (depending upon the machine
+//! used)").
+
+use serde::{Deserialize, Serialize};
+
+/// Site identifier (index into the federation's site table).
+pub type SiteId = u32;
+
+/// A compute site (cluster / SMP) participating in the grid.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Site {
+    /// Identifier.
+    pub id: SiteId,
+    /// Name ("NCSA", "SDSC", "PSC", "NGS-Oxford", …).
+    pub name: String,
+    /// Which grid this site belongs to ("TeraGrid", "NGS").
+    pub grid: String,
+    /// Processors available to the project.
+    pub procs: u32,
+    /// Relative speed (1.0 = reference; job runtime = wall_hours / speed).
+    pub speed: f64,
+    /// Mean stochastic queue wait (hours) from competing background load.
+    pub mean_queue_wait: f64,
+    /// Compute nodes have hidden (non-routable) IP addresses (§V-C-1).
+    pub hidden_ip: bool,
+    /// Site has gateway nodes bridging hidden IPs (PSC's qsocket/AGN).
+    pub has_gateway: bool,
+    /// Optical lightpath (UKLight/GLIF) connectivity deployed and stable.
+    pub lightpath: bool,
+}
+
+impl Site {
+    /// Runtime (hours) of a job with `wall_hours` reference duration.
+    pub fn runtime(&self, wall_hours: f64) -> f64 {
+        wall_hours / self.speed
+    }
+
+    /// Can this site run a job needing `procs` processors at all?
+    pub fn fits(&self, procs: u32) -> bool {
+        procs <= self.procs
+    }
+}
+
+/// The federation of Fig. 5: three TeraGrid sites + three NGS sites.
+///
+/// `procs` is the slice of each machine the project could actually use
+/// concurrently in 2005 (shared production queues), not the machine
+/// size. Capacities are calibrated so the 72-job campaign (~75k
+/// CPU-hours) completes in *just under a week* on the federation but
+/// takes weeks on any single site — the paper's T-batch claim.
+pub fn paper_federation_sites() -> Vec<Site> {
+    vec![
+        Site {
+            id: 0,
+            name: "NCSA".into(),
+            grid: "TeraGrid".into(),
+            procs: 384,
+            speed: 1.0,
+            mean_queue_wait: 10.0,
+            hidden_ip: false,
+            has_gateway: false,
+            lightpath: true,
+        },
+        Site {
+            id: 1,
+            name: "SDSC".into(),
+            grid: "TeraGrid".into(),
+            procs: 256,
+            speed: 1.0,
+            mean_queue_wait: 12.0,
+            hidden_ip: false,
+            has_gateway: false,
+            lightpath: true,
+        },
+        Site {
+            id: 2,
+            name: "PSC".into(),
+            grid: "TeraGrid".into(),
+            procs: 256,
+            speed: 1.25,
+            mean_queue_wait: 14.0,
+            hidden_ip: true,
+            has_gateway: true,
+            lightpath: true,
+        },
+        Site {
+            id: 3,
+            name: "NGS-Oxford".into(),
+            grid: "NGS".into(),
+            procs: 128,
+            speed: 0.8,
+            mean_queue_wait: 6.0,
+            hidden_ip: false,
+            has_gateway: false,
+            lightpath: true,
+        },
+        Site {
+            id: 4,
+            name: "NGS-Leeds".into(),
+            grid: "NGS".into(),
+            procs: 128,
+            speed: 0.8,
+            mean_queue_wait: 6.0,
+            hidden_ip: false,
+            has_gateway: false,
+            lightpath: false,
+        },
+        Site {
+            id: 5,
+            name: "HPCx".into(),
+            grid: "NGS".into(),
+            procs: 256,
+            speed: 1.1,
+            // §V-C-2: UKLight barely deployed + hidden IPs made HPCx
+            // unusable for coupled runs; batch-only here.
+            mean_queue_wait: 12.0,
+            hidden_ip: true,
+            has_gateway: false,
+            lightpath: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_scales_with_speed() {
+        let s = Site {
+            id: 0,
+            name: "X".into(),
+            grid: "G".into(),
+            procs: 128,
+            speed: 2.0,
+            mean_queue_wait: 0.0,
+            hidden_ip: false,
+            has_gateway: false,
+            lightpath: false,
+        };
+        assert_eq!(s.runtime(10.0), 5.0);
+        assert!(s.fits(128));
+        assert!(!s.fits(129));
+    }
+
+    #[test]
+    fn paper_federation_shape() {
+        let sites = paper_federation_sites();
+        assert_eq!(sites.len(), 6);
+        let tg: Vec<_> = sites.iter().filter(|s| s.grid == "TeraGrid").collect();
+        let ngs: Vec<_> = sites.iter().filter(|s| s.grid == "NGS").collect();
+        assert_eq!(tg.len(), 3, "NCSA, SDSC, PSC");
+        assert_eq!(ngs.len(), 3);
+        // PSC is the hidden-IP + gateway site of §V-C-1.
+        let psc = sites.iter().find(|s| s.name == "PSC").unwrap();
+        assert!(psc.hidden_ip && psc.has_gateway);
+        // HPCx is hidden-IP without a gateway and without lightpath (§V-C-2).
+        let hpcx = sites.iter().find(|s| s.name == "HPCx").unwrap();
+        assert!(hpcx.hidden_ip && !hpcx.has_gateway && !hpcx.lightpath);
+        // Ids match indices.
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn federation_can_host_256_proc_jobs() {
+        let sites = paper_federation_sites();
+        assert!(sites.iter().filter(|s| s.fits(256)).count() >= 4);
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-site FCFS batch queue with aggressive backfill — the behaviour of
+//! the 2005-era PBS/LoadLeveler queues the paper's jobs sat in.
+
+use crate::job::Job;
+use std::collections::VecDeque;
+
+/// A queued entry: the job plus the time it becomes eligible to start
+/// (submission + stochastic background-queue delay).
+#[derive(Debug, Clone)]
+struct Queued {
+    job: Job,
+    ready: f64,
+}
+
+/// A running entry.
+#[derive(Debug, Clone)]
+struct Running {
+    job_id: u32,
+    procs: u32,
+    finish: f64,
+}
+
+/// FCFS + backfill scheduler state for one site.
+#[derive(Debug, Clone)]
+pub struct SiteScheduler {
+    free: u32,
+    queue: VecDeque<Queued>,
+    running: Vec<Running>,
+    /// Site unavailable until this time (outage), if any.
+    down_until: Option<f64>,
+}
+
+impl SiteScheduler {
+    /// New idle scheduler for `capacity` processors.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0);
+        SiteScheduler {
+            free: capacity,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            down_until: None,
+        }
+    }
+
+    /// Enqueue a job that becomes eligible at `ready` hours.
+    pub fn submit(&mut self, job: Job, ready: f64) {
+        self.queue.push_back(Queued { job, ready });
+    }
+
+    /// Mark the site down until `until` (jobs keep queueing; running jobs
+    /// are assumed checkpoint-protected and resume — conservatively we let
+    /// them finish on schedule, matching how the paper's sites drained
+    /// rather than killed work).
+    pub fn set_down_until(&mut self, until: f64) {
+        self.down_until = Some(match self.down_until {
+            Some(cur) => cur.max(until),
+            None => until,
+        });
+    }
+
+    /// Try to start queued jobs at time `now`. FCFS with backfill: the
+    /// head starts first when it fits; jobs behind a blocked head may
+    /// start if they fit (aggressive backfill). Returns
+    /// `(job, finish_time)` for each started job, given per-job runtimes
+    /// from `runtime(job)`.
+    pub fn try_start(
+        &mut self,
+        now: f64,
+        mut runtime: impl FnMut(&Job) -> f64,
+    ) -> Vec<(Job, f64)> {
+        if let Some(until) = self.down_until {
+            if now < until {
+                return Vec::new();
+            }
+        }
+        let mut started = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            let eligible = self.queue[i].ready <= now;
+            let fits = self.queue[i].job.procs <= self.free;
+            if eligible && fits {
+                let q = self.queue.remove(i).expect("index in range");
+                self.free -= q.job.procs;
+                let finish = now + runtime(&q.job);
+                self.running.push(Running {
+                    job_id: q.job.id,
+                    procs: q.job.procs,
+                    finish,
+                });
+                started.push((q.job, finish));
+                // restart scan: freeing order may let earlier entries in
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        started
+    }
+
+    /// Release the processors of a finished job.
+    ///
+    /// # Panics
+    /// Panics if the job is not running here.
+    pub fn finish(&mut self, job_id: u32) {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.job_id == job_id)
+            .expect("finishing a job that is not running");
+        let r = self.running.swap_remove(idx);
+        self.free += r.procs;
+    }
+
+    /// Next running-job finish time, if any.
+    pub fn next_finish(&self) -> Option<(u32, f64)> {
+        self.running
+            .iter()
+            .min_by(|a, b| a.finish.total_cmp(&b.finish))
+            .map(|r| (r.job_id, r.finish))
+    }
+
+    /// Earliest ready time among queued jobs, if any.
+    pub fn next_ready(&self) -> Option<f64> {
+        self.queue
+            .iter()
+            .map(|q| q.ready)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Free processors.
+    pub fn free_procs(&self) -> u32 {
+        self.free
+    }
+
+    /// Queued job count.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Running job count.
+    pub fn running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// True when nothing is queued or running.
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, procs: u32, hours: f64) -> Job {
+        Job::new(id, format!("j{id}"), procs, hours)
+    }
+
+    #[test]
+    fn fcfs_order_respected_when_fitting() {
+        let mut s = SiteScheduler::new(100);
+        s.submit(job(1, 50, 1.0), 0.0);
+        s.submit(job(2, 50, 1.0), 0.0);
+        s.submit(job(3, 50, 1.0), 0.0);
+        let started = s.try_start(0.0, |j| j.wall_hours);
+        let ids: Vec<u32> = started.iter().map(|(j, _)| j.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(s.free_procs(), 0);
+        assert_eq!(s.queued(), 1);
+    }
+
+    #[test]
+    fn backfill_skips_blocked_head() {
+        let mut s = SiteScheduler::new(100);
+        s.submit(job(1, 90, 10.0), 0.0);
+        s.submit(job(2, 90, 1.0), 0.0); // can't fit beside job 1
+        s.submit(job(3, 10, 1.0), 0.0); // backfills
+        let started = s.try_start(0.0, |j| j.wall_hours);
+        let ids: Vec<u32> = started.iter().map(|(j, _)| j.id).collect();
+        assert_eq!(ids, vec![1, 3], "job 3 backfills around blocked job 2");
+    }
+
+    #[test]
+    fn not_ready_jobs_wait() {
+        let mut s = SiteScheduler::new(100);
+        s.submit(job(1, 10, 1.0), 5.0);
+        assert!(s.try_start(0.0, |j| j.wall_hours).is_empty());
+        assert_eq!(s.next_ready(), Some(5.0));
+        assert_eq!(s.try_start(5.0, |j| j.wall_hours).len(), 1);
+    }
+
+    #[test]
+    fn finish_releases_processors() {
+        let mut s = SiteScheduler::new(100);
+        s.submit(job(1, 100, 2.0), 0.0);
+        s.submit(job(2, 100, 1.0), 0.0);
+        s.try_start(0.0, |j| j.wall_hours);
+        assert_eq!(s.free_procs(), 0);
+        let (id, t) = s.next_finish().unwrap();
+        assert_eq!((id, t), (1, 2.0));
+        s.finish(1);
+        assert_eq!(s.free_procs(), 100);
+        let started = s.try_start(2.0, |j| j.wall_hours);
+        assert_eq!(started[0].0.id, 2);
+        assert_eq!(started[0].1, 3.0);
+    }
+
+    #[test]
+    fn downtime_blocks_starts() {
+        let mut s = SiteScheduler::new(100);
+        s.set_down_until(10.0);
+        s.submit(job(1, 10, 1.0), 0.0);
+        assert!(s.try_start(5.0, |j| j.wall_hours).is_empty());
+        assert_eq!(s.try_start(10.0, |j| j.wall_hours).len(), 1);
+    }
+
+    #[test]
+    fn overlapping_outages_extend() {
+        let mut s = SiteScheduler::new(10);
+        s.set_down_until(5.0);
+        s.set_down_until(3.0); // shorter; must not shrink
+        s.submit(job(1, 1, 1.0), 0.0);
+        assert!(s.try_start(4.0, |j| j.wall_hours).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn finishing_unknown_job_panics() {
+        let mut s = SiteScheduler::new(10);
+        s.finish(99);
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut s = SiteScheduler::new(10);
+        assert!(s.idle());
+        s.submit(job(1, 1, 1.0), 0.0);
+        assert!(!s.idle());
+        s.try_start(0.0, |j| j.wall_hours);
+        assert_eq!(s.running(), 1);
+        s.finish(1);
+        assert!(s.idle());
+    }
+}

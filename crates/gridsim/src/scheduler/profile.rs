@@ -1,0 +1,190 @@
+//! Capacity profiles: piecewise-constant free-processor timelines used
+//! for profile-based list scheduling (the planning core of the campaign
+//! simulator) and for advance-reservation admission.
+
+/// A piecewise-constant record of committed processors over time.
+#[derive(Debug, Clone)]
+pub struct CapacityProfile {
+    capacity: u32,
+    /// (time, delta) pairs: +procs at start, −procs at end; kept sorted.
+    deltas: Vec<(f64, i64)>,
+}
+
+impl CapacityProfile {
+    /// Empty profile for a site with `capacity` processors.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        CapacityProfile {
+            capacity,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Commit `procs` processors over `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics when the commitment would exceed capacity anywhere in the
+    /// window (callers must check [`CapacityProfile::earliest_start`] or
+    /// [`CapacityProfile::fits`] first).
+    pub fn commit(&mut self, procs: u32, start: f64, end: f64) {
+        assert!(end > start, "empty commitment window");
+        assert!(
+            self.fits(procs, start, end),
+            "over-commitment of {procs} procs in [{start}, {end})"
+        );
+        self.deltas.push((start, procs as i64));
+        self.deltas.push((end, -(procs as i64)));
+        self.deltas
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+
+    /// Committed processors at time `t` (commitments are [start, end)).
+    pub fn used_at(&self, t: f64) -> u32 {
+        let mut used = 0i64;
+        for &(time, d) in &self.deltas {
+            if time > t {
+                break;
+            }
+            used += d;
+        }
+        used.max(0) as u32
+    }
+
+    /// True when `procs` fit throughout `[start, end)`.
+    pub fn fits(&self, procs: u32, start: f64, end: f64) -> bool {
+        if procs > self.capacity {
+            return false;
+        }
+        // Check at window start and at every delta point inside it.
+        if self.used_at(start) + procs > self.capacity {
+            return false;
+        }
+        for &(time, _) in &self.deltas {
+            if time > start && time < end && self.used_at(time) + procs > self.capacity {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Earliest start ≥ `not_before` at which `procs` processors are free
+    /// for `duration` hours, additionally avoiding each fully-blocking
+    /// window in `blocked` (outages). Returns `None` only if `procs`
+    /// exceeds capacity.
+    pub fn earliest_start(
+        &self,
+        procs: u32,
+        duration: f64,
+        not_before: f64,
+        blocked: &[(f64, f64)],
+    ) -> Option<f64> {
+        if procs > self.capacity {
+            return None;
+        }
+        // Candidate starts: not_before, every delta point after it, and
+        // every blocked-window end.
+        let mut candidates: Vec<f64> = vec![not_before];
+        candidates.extend(self.deltas.iter().map(|&(t, _)| t).filter(|&t| t > not_before));
+        candidates.extend(blocked.iter().map(|&(_, e)| e).filter(|&e| e > not_before));
+        candidates.sort_by(f64::total_cmp);
+        candidates.dedup();
+        for &t in &candidates {
+            let end = t + duration;
+            let overlaps_block = blocked.iter().any(|&(bs, be)| t < be && end > bs);
+            if overlaps_block {
+                continue;
+            }
+            if self.fits(procs, t, end) {
+                return Some(t);
+            }
+        }
+        // All candidates failed; after the last delta and block everything
+        // is free, so start there.
+        let horizon = self
+            .deltas
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(blocked.iter().map(|&(_, e)| e))
+            .fold(not_before, f64::max);
+        Some(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile_is_free() {
+        let p = CapacityProfile::new(100);
+        assert_eq!(p.used_at(5.0), 0);
+        assert!(p.fits(100, 0.0, 10.0));
+        assert_eq!(p.earliest_start(50, 2.0, 1.0, &[]), Some(1.0));
+    }
+
+    #[test]
+    fn commitment_occupies_window() {
+        let mut p = CapacityProfile::new(100);
+        p.commit(60, 2.0, 5.0);
+        assert_eq!(p.used_at(3.0), 60);
+        assert_eq!(p.used_at(5.0), 0, "window is half-open");
+        assert!(p.fits(40, 2.0, 5.0));
+        assert!(!p.fits(41, 2.0, 5.0));
+        assert!(p.fits(100, 5.0, 6.0));
+    }
+
+    #[test]
+    fn earliest_start_waits_for_release() {
+        let mut p = CapacityProfile::new(100);
+        p.commit(80, 0.0, 4.0);
+        // 50 procs for 2h can only start once the 80 release at t=4.
+        assert_eq!(p.earliest_start(50, 2.0, 0.0, &[]), Some(4.0));
+        // 20 procs fit immediately.
+        assert_eq!(p.earliest_start(20, 2.0, 0.0, &[]), Some(0.0));
+    }
+
+    #[test]
+    fn earliest_start_avoids_outage() {
+        let p = CapacityProfile::new(100);
+        let blocked = [(1.0, 10.0)];
+        // 3h job at t=0 would overlap the outage start.
+        assert_eq!(p.earliest_start(10, 3.0, 0.0, &blocked), Some(10.0));
+        // 30-minute job fits before the outage.
+        assert_eq!(p.earliest_start(10, 0.5, 0.0, &blocked), Some(0.0));
+    }
+
+    #[test]
+    fn oversized_request_is_none() {
+        let p = CapacityProfile::new(64);
+        assert_eq!(p.earliest_start(65, 1.0, 0.0, &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-commitment")]
+    fn over_commit_panics() {
+        let mut p = CapacityProfile::new(10);
+        p.commit(8, 0.0, 5.0);
+        p.commit(8, 2.0, 3.0);
+    }
+
+    #[test]
+    fn stacked_commitments() {
+        let mut p = CapacityProfile::new(100);
+        p.commit(30, 0.0, 10.0);
+        p.commit(30, 2.0, 8.0);
+        p.commit(30, 4.0, 6.0);
+        assert_eq!(p.used_at(5.0), 90);
+        assert!(p.fits(10, 4.0, 6.0));
+        assert!(!p.fits(11, 4.0, 6.0));
+        // Peak usage over [0,3) is 60 at t=2 → 40 procs exactly fill it.
+        assert_eq!(p.earliest_start(40, 3.0, 0.0, &[]), Some(0.0));
+        // 41 procs only fit once every window with usage ≥ 60 is clear:
+        // first candidate with a clean 3 h run is t = 8 ([8,11) uses 30).
+        assert_eq!(p.earliest_start(41, 3.0, 0.0, &[]), Some(8.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Campaign execution traces: a text Gantt chart of job placement over
+//! time — the at-a-glance view of how the federation carried the batch
+//! phase (what the paper's coordinators reconstructed from queue logs by
+//! hand).
+
+use crate::campaign::CampaignResult;
+use crate::federation::Federation;
+
+/// Render a per-site text Gantt chart of the campaign, `width` columns
+/// wide. Each row is a site; each column a time slice; the glyph encodes
+/// how many jobs were running in that slice (`.` idle, `1`–`9`, `#` ≥10).
+pub fn gantt(result: &CampaignResult, federation: &Federation, width: usize) -> String {
+    assert!(width >= 10, "gantt needs at least 10 columns");
+    let span = result.makespan_hours.max(1e-9);
+    let dt = span / width as f64;
+    let name_w = federation
+        .sites
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>name_w$} |{}| 0 → {:.1} h ({:.1} h/col)\n",
+        "site",
+        "-".repeat(width),
+        span,
+        dt,
+    ));
+    for site in &federation.sites {
+        let mut row = String::with_capacity(width);
+        for c in 0..width {
+            let t = (c as f64 + 0.5) * dt;
+            let running = result
+                .records
+                .iter()
+                .filter(|r| r.site == site.id && r.started <= t && t < r.finished)
+                .count();
+            row.push(match running {
+                0 => '.',
+                1..=9 => char::from_digit(running as u32, 10).expect("1..=9"),
+                _ => '#',
+            });
+        }
+        out.push_str(&format!("{:>name_w$} |{row}|\n", site.name));
+    }
+    out
+}
+
+/// One-line-per-job event listing, ordered by start time.
+pub fn job_listing(result: &CampaignResult, federation: &Federation) -> String {
+    let mut records = result.records.clone();
+    records.sort_by(|a, b| a.started.total_cmp(&b.started).then(a.job.cmp(&b.job)));
+    let mut out = String::from("  job  site         procs   start    end     wait\n");
+    for r in &records {
+        out.push_str(&format!(
+            "  {:>3}  {:<12} {:>4}  {:>6.1}  {:>6.1}  {:>6.1}\n",
+            r.job,
+            federation.site(r.site).name,
+            r.procs,
+            r.started,
+            r.finished,
+            r.wait(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+
+    #[test]
+    fn gantt_renders_all_sites_and_width() {
+        let c = Campaign::paper_batch_phase(4);
+        let r = c.run();
+        let g = gantt(&r, &c.federation, 60);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 1 + c.federation.sites.len());
+        for site in &c.federation.sites {
+            assert!(g.contains(&site.name), "missing {}", site.name);
+        }
+        // Every site row has exactly `width` glyphs between the bars.
+        for line in &lines[1..] {
+            let row = line.split('|').nth(1).expect("bar-delimited row");
+            assert_eq!(row.chars().count(), 60);
+        }
+        // Work actually shows up.
+        assert!(g.chars().any(|ch| ch.is_ascii_digit() && ch != '0'));
+    }
+
+    #[test]
+    fn gantt_occupancy_matches_records() {
+        let c = Campaign::paper_batch_phase(6);
+        let r = c.run();
+        let g = gantt(&r, &c.federation, 40);
+        // The busiest glyph must not exceed the per-site max concurrency
+        // implied by capacity (site 0: 384 procs / 128 = ≤3 concurrent).
+        let ncsa_row = g
+            .lines()
+            .find(|l| l.contains("NCSA"))
+            .expect("NCSA row")
+            .to_string();
+        for ch in ncsa_row.chars().filter(|c| c.is_ascii_digit()) {
+            assert!(ch.to_digit(10).unwrap() <= 3, "NCSA over-concurrency: {ncsa_row}");
+        }
+    }
+
+    #[test]
+    fn job_listing_is_sorted_and_complete() {
+        let c = Campaign::paper_batch_phase(5);
+        let r = c.run();
+        let listing = job_listing(&r, &c.federation);
+        assert_eq!(listing.lines().count(), 1 + 72);
+        let starts: Vec<f64> = listing
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(3).unwrap().parse().unwrap())
+            .collect();
+        assert!(starts.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 columns")]
+    fn tiny_width_rejected() {
+        let c = Campaign::paper_batch_phase(1);
+        let r = c.run();
+        gantt(&r, &c.federation, 3);
+    }
+}

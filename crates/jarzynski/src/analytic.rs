@@ -1,0 +1,97 @@
+//! Reference PMFs for validation.
+//!
+//! The JE pipeline is validated end-to-end on systems whose PMF is known
+//! in closed form (harmonic wells) or computable by quadrature (a single
+//! bead in an axisymmetric pore potential): the *adiabatic* profile the
+//! paper calls "the putatively correct PMF".
+
+/// PMF of a particle restrained by `U = a z²` (spice-md's `Restraint`
+/// convention, no ½): `Φ(z) = a z²` up to a constant.
+pub fn harmonic_pmf(a: f64) -> impl Fn(f64) -> f64 {
+    move |z| a * z * z
+}
+
+/// PMF along z for a single bead in an axisymmetric external potential
+/// `u(ρ, z)`, by radial quadrature:
+///
+/// `Φ(z) = −kT ln ∫₀^ρmax exp(−u(ρ,z)/kT) 2πρ dρ`
+///
+/// normalized so that `Φ(z_gauge) = 0`.
+pub fn radial_quadrature_pmf(
+    u: impl Fn(f64, f64) -> f64,
+    kt: f64,
+    rho_max: f64,
+    nrho: usize,
+    z_gauge: f64,
+) -> impl Fn(f64) -> f64 {
+    assert!(kt > 0.0 && rho_max > 0.0 && nrho >= 8);
+    let free_energy = move |z: f64, u: &dyn Fn(f64, f64) -> f64| -> f64 {
+        let drho = rho_max / nrho as f64;
+        let mut integral = 0.0;
+        for i in 0..nrho {
+            let rho = (i as f64 + 0.5) * drho;
+            integral += (-u(rho, z) / kt).exp() * 2.0 * std::f64::consts::PI * rho * drho;
+        }
+        -kt * integral.max(1e-300).ln()
+    };
+    let gauge = free_energy(z_gauge, &u);
+    move |z| free_energy(z, &u) - gauge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_md::units::KT_300;
+
+    #[test]
+    fn harmonic_reference() {
+        let phi = harmonic_pmf(2.0);
+        assert_eq!(phi(0.0), 0.0);
+        assert_eq!(phi(3.0), 18.0);
+    }
+
+    #[test]
+    fn quadrature_of_z_only_potential_recovers_it() {
+        // u(ρ,z) = z² + wall at ρ>5 : radial part is z-independent, so
+        // Φ(z) = z² exactly.
+        let u = |rho: f64, z: f64| {
+            if rho > 5.0 {
+                1e6
+            } else {
+                z * z
+            }
+        };
+        let phi = radial_quadrature_pmf(u, KT_300, 10.0, 2000, 0.0);
+        for z in [0.5, 1.0, 2.0] {
+            assert!((phi(z) - z * z).abs() < 1e-6, "phi({z}) = {}", phi(z));
+        }
+    }
+
+    #[test]
+    fn narrowing_channel_costs_entropy() {
+        // u confines to ρ < R(z) with R shrinking: Φ rises by
+        // −kT ln(A₂/A₁) = 2 kT ln(R₁/R₂).
+        let u = |rho: f64, z: f64| {
+            let r_allowed = if z < 0.5 { 4.0 } else { 2.0 };
+            if rho > r_allowed {
+                1e6
+            } else {
+                0.0
+            }
+        };
+        let phi = radial_quadrature_pmf(u, KT_300, 10.0, 4000, 0.0);
+        let expected = 2.0 * KT_300 * (4.0f64 / 2.0).ln();
+        assert!(
+            (phi(1.0) - expected).abs() < 0.01,
+            "entropic barrier {} vs {expected}",
+            phi(1.0)
+        );
+    }
+
+    #[test]
+    fn gauge_point_is_zero() {
+        let u = |rho: f64, z: f64| 0.1 * z * z + 0.01 * rho * rho;
+        let phi = radial_quadrature_pmf(u, KT_300, 20.0, 1000, 1.5);
+        assert!(phi(1.5).abs() < 1e-12);
+    }
+}

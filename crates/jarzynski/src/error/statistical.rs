@@ -1,0 +1,190 @@
+//! Statistical error of the JE estimate, with the paper's cost
+//! normalization.
+
+use crate::pmf::{Estimator, PmfCurve};
+use spice_smd::WorkTrajectory;
+use spice_stats::rng::seed_stream;
+
+/// Bootstrap standard error of the PMF at each grid point, resampling
+/// whole *trajectories* (realizations are the independent unit, not
+/// individual work samples).
+///
+/// Returns `(guide_disp, sigma)` per grid point. Deterministic under
+/// `seed`.
+pub fn pmf_bootstrap_sigma(
+    trajectories: &[WorkTrajectory],
+    span: f64,
+    npoints: usize,
+    kt: f64,
+    estimator: Estimator,
+    resamples: usize,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    assert!(trajectories.len() >= 2, "need ≥2 realizations for error bars");
+    let n = trajectories.len();
+    // Collect bootstrap PMFs.
+    let mut replicate_phis: Vec<Vec<f64>> = Vec::with_capacity(resamples);
+    let mut grid: Option<Vec<f64>> = None;
+    let mut resample = Vec::with_capacity(n);
+    for r in 0..resamples {
+        resample.clear();
+        for k in 0..n {
+            let idx = (seed_stream(seed, (r * n + k) as u64) % n as u64) as usize;
+            resample.push(trajectories[idx].clone());
+        }
+        let pmf = PmfCurve::estimate(&resample, span, npoints, kt, estimator);
+        if grid.is_none() {
+            grid = Some(pmf.points.iter().map(|p| p.guide_disp).collect());
+        }
+        replicate_phis.push(pmf.points.iter().map(|p| p.phi).collect());
+    }
+    let grid = grid.expect("at least one replicate");
+    let npts = grid.len();
+    let mut out = Vec::with_capacity(npts);
+    let mut column = Vec::with_capacity(resamples);
+    for j in 0..npts {
+        column.clear();
+        for rep in &replicate_phis {
+            if j < rep.len() {
+                column.push(rep[j]);
+            }
+        }
+        out.push((grid[j], spice_stats::std_dev(&column)));
+    }
+    out
+}
+
+/// Scalar statistical error of a curve: RMS of the per-point bootstrap
+/// sigmas (excluding the pinned Φ(0) = 0 point).
+pub fn pmf_sigma_scalar(sigmas: &[(f64, f64)]) -> f64 {
+    let vals: Vec<f64> = sigmas
+        .iter()
+        .skip(1)
+        .map(|&(_, s)| s * s)
+        .collect();
+    if vals.is_empty() {
+        return f64::NAN;
+    }
+    (vals.iter().sum::<f64>() / vals.len() as f64).sqrt()
+}
+
+/// The paper's §IV-C computational-cost normalization.
+///
+/// At fixed compute budget, the number of affordable samples scales with
+/// pulling velocity: `n_affordable(v) = n_ref · v / v_ref`. A σ measured
+/// from `n_used` samples is rescaled to the affordable count assuming
+/// `σ ∝ 1/√n`:
+///
+/// `σ_norm = σ_measured · √(n_used / n_affordable)`
+///
+/// With `v_ref = 100 Å/ns` this reproduces the paper's "the statistical
+/// error of the v = 12.5 set should be set to √8 of the v = 100 set".
+pub fn cost_normalized_sigma(
+    sigma_measured: f64,
+    n_used: usize,
+    v_a_per_ns: f64,
+    v_ref_a_per_ns: f64,
+    n_ref_budget: usize,
+) -> f64 {
+    assert!(v_a_per_ns > 0.0 && v_ref_a_per_ns > 0.0, "velocities must be positive");
+    assert!(n_used > 0 && n_ref_budget > 0);
+    let n_affordable = n_ref_budget as f64 * v_a_per_ns / v_ref_a_per_ns;
+    sigma_measured * (n_used as f64 / n_affordable).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_md::units::KT_300;
+    use spice_smd::WorkSample;
+
+    fn ensemble(n: usize, sigma: f64, seed: u64) -> Vec<WorkTrajectory> {
+        let g = spice_md::rng::GaussianStream::new(seed);
+        (0..n)
+            .map(|r| {
+                let mut acc = 0.0;
+                WorkTrajectory {
+                    kappa_pn_per_a: 100.0,
+                    v_a_per_ns: 12.5,
+                    seed: r as u64,
+                    samples: (0..=50)
+                        .map(|i| {
+                            let s = i as f64 * 0.2;
+                            acc += sigma * g.sample(r as u64, i) * 0.2;
+                            WorkSample {
+                                t_ps: s,
+                                guide_disp: s,
+                                com_disp: s,
+                                work: 1.5 * s + acc,
+                                force: 1.5,
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_sigma_grows_with_noise() {
+        let quiet = pmf_bootstrap_sigma(&ensemble(24, 0.2, 1), 10.0, 11, KT_300, Estimator::Jarzynski, 100, 5);
+        let noisy = pmf_bootstrap_sigma(&ensemble(24, 2.0, 1), 10.0, 11, KT_300, Estimator::Jarzynski, 100, 5);
+        let sq = pmf_sigma_scalar(&quiet);
+        let sn = pmf_sigma_scalar(&noisy);
+        assert!(sn > 2.0 * sq, "noisy σ {sn} should dwarf quiet σ {sq}");
+    }
+
+    #[test]
+    fn bootstrap_sigma_shrinks_with_ensemble_size() {
+        let small = pmf_sigma_scalar(&pmf_bootstrap_sigma(
+            &ensemble(8, 1.0, 2),
+            10.0,
+            11,
+            KT_300,
+            Estimator::Jarzynski,
+            150,
+            5,
+        ));
+        let large = pmf_sigma_scalar(&pmf_bootstrap_sigma(
+            &ensemble(128, 1.0, 2),
+            10.0,
+            11,
+            KT_300,
+            Estimator::Jarzynski,
+            150,
+            5,
+        ));
+        assert!(
+            large < small,
+            "σ must shrink with more realizations: {small} → {large}"
+        );
+    }
+
+    #[test]
+    fn bootstrap_deterministic_under_seed() {
+        let e = ensemble(12, 1.0, 3);
+        let a = pmf_bootstrap_sigma(&e, 10.0, 6, KT_300, Estimator::Jarzynski, 50, 9);
+        let b = pmf_bootstrap_sigma(&e, 10.0, 6, KT_300, Estimator::Jarzynski, 50, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cost_normalization_reproduces_sqrt8() {
+        // Same measured σ and same n_used: v = 12.5 penalized √8 relative
+        // to v = 100 (§IV-C).
+        let s_slow = cost_normalized_sigma(1.0, 32, 12.5, 100.0, 32);
+        let s_fast = cost_normalized_sigma(1.0, 32, 100.0, 100.0, 32);
+        assert!(((s_slow / s_fast) - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_is_identity_at_reference() {
+        assert!((cost_normalized_sigma(0.7, 64, 100.0, 100.0, 64) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sigma_scalar_skips_pinned_origin() {
+        let sigmas = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)];
+        assert!((pmf_sigma_scalar(&sigmas) - 2.0).abs() < 1e-12);
+    }
+}

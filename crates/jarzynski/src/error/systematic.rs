@@ -1,0 +1,102 @@
+//! Systematic error: deviation from the putatively correct equilibrium
+//! PMF (§IV-C's "irreversible work" bias).
+
+use crate::pmf::PmfCurve;
+
+/// RMS deviation of `pmf` from a reference profile `phi_ref(s)` over the
+/// curve's grid (origin excluded — both are pinned to 0 there).
+pub fn systematic_error(pmf: &PmfCurve, phi_ref: impl Fn(f64) -> f64) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0;
+    for p in pmf.points.iter().skip(1) {
+        let d = p.phi - phi_ref(p.guide_disp);
+        sum += d * d;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).sqrt()
+    }
+}
+
+/// Mean dissipated work along the curve: `⟨W⟩ − Φ_JE` averaged over grid
+/// points. Always ≥ 0 up to estimator noise; grows with pulling speed —
+/// the mechanism behind §IV-C's "too large a velocity produces
+/// irreversible work".
+pub fn dissipated_work(pmf: &PmfCurve) -> f64 {
+    let vals: Vec<f64> = pmf
+        .points
+        .iter()
+        .skip(1)
+        .map(|p| p.mean_work - p.phi)
+        .collect();
+    if vals.is_empty() {
+        f64::NAN
+    } else {
+        spice_stats::mean(&vals)
+    }
+}
+
+/// Signed end-point bias: `Φ_est(L) − Φ_ref(L)` — positive when the
+/// estimate overshoots (insufficient sampling of rare low-work tails).
+pub fn endpoint_bias(pmf: &PmfCurve, phi_ref: impl Fn(f64) -> f64) -> f64 {
+    pmf.points
+        .last()
+        .map_or(f64::NAN, |p| p.phi - phi_ref(p.guide_disp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmf::{Estimator, PmfPoint};
+
+    fn curve(phis: &[f64], works: &[f64]) -> PmfCurve {
+        PmfCurve {
+            kappa_pn_per_a: 100.0,
+            v_a_per_ns: 12.5,
+            estimator: Estimator::Jarzynski,
+            points: phis
+                .iter()
+                .zip(works)
+                .enumerate()
+                .map(|(i, (&phi, &w))| PmfPoint {
+                    guide_disp: i as f64,
+                    com_disp: i as f64,
+                    phi,
+                    n: 10,
+                    mean_work: w,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn zero_error_for_exact_curve() {
+        let c = curve(&[0.0, 1.0, 2.0, 3.0], &[0.0, 1.0, 2.0, 3.0]);
+        assert!(systematic_error(&c, |s| s) < 1e-12);
+        assert!(dissipated_work(&c).abs() < 1e-12);
+        assert!(endpoint_bias(&c, |s| s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_constant_offset() {
+        let c = curve(&[0.0, 1.5, 2.5, 3.5], &[0.0, 1.5, 2.5, 3.5]);
+        // Offset +0.5 at every non-origin point.
+        assert!((systematic_error(&c, |s| s) - 0.5).abs() < 1e-12);
+        assert!((endpoint_bias(&c, |s| s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dissipation_positive_when_work_exceeds_phi() {
+        let c = curve(&[0.0, 1.0, 2.0], &[0.0, 1.8, 3.0]);
+        assert!((dissipated_work(&c) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_curve_is_nan() {
+        let c = curve(&[0.0], &[0.0]);
+        assert!(systematic_error(&c, |s| s).is_nan());
+        assert!(dissipated_work(&c).is_nan());
+    }
+}

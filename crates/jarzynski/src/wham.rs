@@ -1,0 +1,265 @@
+//! WHAM — the Weighted Histogram Analysis Method over umbrella windows.
+//!
+//! The TI extension (§VI) integrates mean forces; WHAM instead combines
+//! the *position histograms* of the same umbrella windows into an
+//! unbiased PMF by self-consistent reweighting. Having both closes the
+//! methodological triangle JE ↔ TI ↔ WHAM on identical window data, and
+//! WHAM uses strictly more of the information each window collects.
+//!
+//! Standard equations (Kumar et al. 1992), for windows k with harmonic
+//! biases `U_k(x) = κ/2 (x − x_k)²`, N_k samples each:
+//!
+//! ```text
+//! P(x) = Σ_k n_k(x)  /  Σ_k N_k exp[(f_k − U_k(x))/kT]
+//! exp(−f_k/kT) = Σ_x P(x) exp(−U_k(x)/kT) Δx
+//! ```
+//!
+//! iterated to convergence; Φ(x) = −kT ln P(x) up to a constant.
+
+use spice_stats::Histogram;
+
+/// One umbrella window's data.
+#[derive(Debug, Clone)]
+pub struct UmbrellaWindow {
+    /// Bias center x_k.
+    pub center: f64,
+    /// Bias spring constant κ (energy/length², `U = κ/2 (x−c)²`).
+    pub kappa: f64,
+    /// Sampled reaction-coordinate values.
+    pub samples: Vec<f64>,
+}
+
+/// WHAM solver output.
+#[derive(Debug, Clone)]
+pub struct WhamResult {
+    /// (x, Φ) profile, gauged to min Φ = 0, over bins with any samples.
+    pub profile: Vec<(f64, f64)>,
+    /// Converged per-window free energies f_k.
+    pub window_f: Vec<f64>,
+    /// Iterations used.
+    pub iterations: u32,
+    /// Max |Δf_k| at exit.
+    pub residual: f64,
+}
+
+/// Solve WHAM on a uniform grid of `nbins` over `[lo, hi)`.
+///
+/// # Panics
+/// Panics on empty windows, non-positive kT, or a degenerate grid.
+pub fn wham(
+    windows: &[UmbrellaWindow],
+    lo: f64,
+    hi: f64,
+    nbins: usize,
+    kt: f64,
+    max_iter: u32,
+    tol: f64,
+) -> WhamResult {
+    assert!(!windows.is_empty(), "WHAM needs at least one window");
+    assert!(kt > 0.0 && hi > lo && nbins >= 2);
+    for w in windows {
+        assert!(!w.samples.is_empty(), "window at {} has no samples", w.center);
+    }
+    let nw = windows.len();
+    let width = (hi - lo) / nbins as f64;
+
+    // Histograms per window and totals.
+    let mut hists: Vec<Histogram> = Vec::with_capacity(nw);
+    for w in windows {
+        let mut h = Histogram::new(lo, hi, nbins);
+        h.extend(&w.samples);
+        hists.push(h);
+    }
+    for (h, w) in hists.iter().zip(windows) {
+        assert!(
+            h.total_in_range() > 0,
+            "window at {} has no samples inside the [{lo}, {hi}) grid — misconfigured range",
+            w.center
+        );
+    }
+    let n_k: Vec<f64> = hists.iter().map(|h| h.total_in_range() as f64).collect();
+    // Total counts per bin.
+    let counts: Vec<f64> = (0..nbins)
+        .map(|b| hists.iter().map(|h| h.count(b) as f64).sum())
+        .collect();
+    // Bias energies U_k(x_bin), precomputed.
+    let centers: Vec<f64> = (0..nbins).map(|b| lo + (b as f64 + 0.5) * width).collect();
+    let bias: Vec<Vec<f64>> = windows
+        .iter()
+        .map(|w| {
+            centers
+                .iter()
+                .map(|&x| 0.5 * w.kappa * (x - w.center) * (x - w.center))
+                .collect()
+        })
+        .collect();
+
+    let mut f = vec![0.0f64; nw];
+    let mut p = vec![0.0f64; nbins];
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_iter {
+        // P(x) update.
+        for b in 0..nbins {
+            if counts[b] == 0.0 {
+                p[b] = 0.0;
+                continue;
+            }
+            let denom: f64 = (0..nw)
+                .map(|k| n_k[k] * ((f[k] - bias[k][b]) / kt).exp())
+                .sum();
+            p[b] = counts[b] / denom.max(1e-300);
+        }
+        // f_k update. Gauge first (f is only determined up to a shared
+        // constant — pin f_0 = 0), THEN measure the residual; comparing
+        // un-gauged values would report the drifting gauge constant as a
+        // spurious non-convergence.
+        let mut new_f: Vec<f64> = (0..nw)
+            .map(|k| {
+                let z: f64 = (0..nbins)
+                    .map(|b| p[b] * (-bias[k][b] / kt).exp() * width)
+                    .sum();
+                -kt * z.max(1e-300).ln()
+            })
+            .collect();
+        let f0 = new_f[0];
+        for fk in &mut new_f {
+            *fk -= f0;
+        }
+        residual = f
+            .iter()
+            .zip(&new_f)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        f = new_f;
+        iterations += 1;
+        if residual < tol {
+            break;
+        }
+    }
+
+    // Profile over populated bins, gauged to min = 0.
+    let mut profile: Vec<(f64, f64)> = (0..nbins)
+        .filter(|&b| p[b] > 0.0)
+        .map(|b| (centers[b], -kt * p[b].ln()))
+        .collect();
+    if let Some(min) = profile
+        .iter()
+        .map(|&(_, phi)| phi)
+        .min_by(f64::total_cmp)
+    {
+        for (_, phi) in &mut profile {
+            *phi -= min;
+        }
+    }
+    WhamResult {
+        profile,
+        window_f: f,
+        iterations,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_md::rng::GaussianStream;
+    use spice_md::units::KT_300;
+
+    /// Exact umbrella sampling of U0 = a x² with bias κ/2 (x−c)²: the
+    /// combined potential is Gaussian with variance kT/(2a+κ) and mean
+    /// κc/(2a+κ).
+    fn synthetic_windows(a: f64, kappa: f64, centers: &[f64], n: usize) -> Vec<UmbrellaWindow> {
+        let g = GaussianStream::new(99);
+        centers
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                let var = KT_300 / (2.0 * a + kappa);
+                let mean = kappa * c / (2.0 * a + kappa);
+                UmbrellaWindow {
+                    center: c,
+                    kappa,
+                    samples: (0..n)
+                        .map(|i| mean + var.sqrt() * g.sample(k as u64, i as u64))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_harmonic_pmf() {
+        let a = 0.8;
+        let centers: Vec<f64> = (0..9).map(|i| -2.0 + 0.5 * i as f64).collect();
+        let windows = synthetic_windows(a, 8.0, &centers, 20_000);
+        let r = wham(&windows, -2.8, 2.8, 56, KT_300, 2_000, 1e-10);
+        assert!(r.residual < 1e-8, "not converged: {}", r.residual);
+        // Compare against a·x² (both gauged to min 0 at x=0).
+        for &(x, phi) in &r.profile {
+            if x.abs() > 2.2 {
+                continue; // sparse tails
+            }
+            let expected = a * x * x;
+            assert!(
+                (phi - expected).abs() < 0.15 + 0.05 * expected,
+                "Φ({x:.2}) = {phi:.3} vs {expected:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_free_energies_are_gauged() {
+        let windows = synthetic_windows(0.5, 5.0, &[-1.0, 0.0, 1.0], 5_000);
+        let r = wham(&windows, -2.0, 2.0, 32, KT_300, 1_000, 1e-9);
+        assert_eq!(r.window_f[0], 0.0, "f_0 pinned to zero");
+        assert_eq!(r.window_f.len(), 3);
+    }
+
+    #[test]
+    fn single_window_reduces_to_reweighted_histogram() {
+        let a = 1.0;
+        let windows = synthetic_windows(a, 4.0, &[0.0], 50_000);
+        let r = wham(&windows, -1.5, 1.5, 30, KT_300, 500, 1e-10);
+        for &(x, phi) in &r.profile {
+            if x.abs() > 1.0 {
+                continue;
+            }
+            assert!(
+                (phi - a * x * x).abs() < 0.15,
+                "Φ({x:.2}) = {phi:.3} vs {:.3}",
+                a * x * x
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let windows = synthetic_windows(0.5, 5.0, &[0.0, 1.0], 2_000);
+        let a = wham(&windows, -1.0, 2.0, 24, KT_300, 200, 1e-8);
+        let b = wham(&windows, -1.0, 2.0, 24, KT_300, 200, 1e-8);
+        assert_eq!(a.profile, b.profile);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the")]
+    fn out_of_range_window_rejected() {
+        let w = UmbrellaWindow {
+            center: 100.0,
+            kappa: 1.0,
+            samples: vec![100.0, 101.0],
+        };
+        wham(&[w], -1.0, 1.0, 10, KT_300, 10, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_window_rejected() {
+        let w = UmbrellaWindow {
+            center: 0.0,
+            kappa: 1.0,
+            samples: vec![],
+        };
+        wham(&[w], -1.0, 1.0, 10, KT_300, 10, 1e-6);
+    }
+}

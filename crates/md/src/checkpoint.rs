@@ -1,0 +1,172 @@
+//! Checkpoint & clone support (§III of the paper).
+//!
+//! "Checkpoint and cloning of simulations features provided by the
+//! RealityGrid infrastructure can also be used for verification and
+//! validation tests without perturbing the original simulation and for
+//! exploring a particular configuration in greater detail."
+//!
+//! A [`Snapshot`] captures the full dynamical state plus the step counter;
+//! because the Langevin noise is keyed on `(seed, step)`, restoring a
+//! snapshot into an identically-configured simulation reproduces the
+//! original trajectory *exactly*, while restoring with a different seed
+//! clones the simulation onto a divergent realization.
+
+use crate::sim::Simulation;
+use crate::system::System;
+use crate::MdError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// A serializable simulation snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Snapshot {
+    /// Step counter at capture time.
+    pub step: u64,
+    /// Simulation time (ps) at capture time.
+    pub time_ps: f64,
+    /// Full particle state.
+    pub system: System,
+    /// Free-form label (which phase / realization produced this).
+    pub label: String,
+}
+
+impl Snapshot {
+    /// Capture the state of a running simulation.
+    pub fn capture(sim: &Simulation, label: impl Into<String>) -> Self {
+        Snapshot {
+            step: sim.step_count(),
+            time_ps: sim.time_ps(),
+            system: sim.system().clone(),
+            label: label.into(),
+        }
+    }
+
+    /// Restore this snapshot into a simulation (the simulation must have
+    /// been built with a compatible force field / particle count).
+    pub fn restore(&self, sim: &mut Simulation) -> Result<(), MdError> {
+        if sim.system().len() != self.system.len() {
+            return Err(MdError::Checkpoint(format!(
+                "snapshot has {} particles, simulation has {}",
+                self.system.len(),
+                sim.system().len()
+            )));
+        }
+        *sim.system_mut() = self.system.clone();
+        sim.set_step(self.step);
+        sim.refresh_forces();
+        Ok(())
+    }
+
+    /// Serialize to JSON into any writer.
+    pub fn write_json<W: Write>(&self, w: W) -> Result<(), MdError> {
+        serde_json::to_writer(w, self).map_err(Into::into)
+    }
+
+    /// Deserialize from JSON out of any reader.
+    pub fn read_json<R: Read>(r: R) -> Result<Snapshot, MdError> {
+        serde_json::from_reader(r).map_err(Into::into)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), MdError> {
+        let f = std::fs::File::create(path)?;
+        self.write_json(std::io::BufWriter::new(f))
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path) -> Result<Snapshot, MdError> {
+        let f = std::fs::File::open(path)?;
+        Self::read_json(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::{ForceField, Restraint};
+    use crate::integrate::LangevinBaoab;
+    use crate::topology::Topology;
+    use crate::vec3::Vec3;
+
+    fn make_sim(seed: u64) -> Simulation {
+        let mut sys = System::new();
+        for i in 0..4 {
+            sys.add_particle(Vec3::new(i as f64, 0.0, 0.0), 5.0, 0.0, 0);
+        }
+        let mut ff = ForceField::new(Topology::new());
+        for i in 0..4 {
+            ff = ff.with_restraint(Restraint::harmonic(i, Vec3::new(i as f64, 0.0, 0.0), 1.0));
+        }
+        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut sim = make_sim(1);
+        sim.run(50, &mut []).unwrap();
+        let snap = Snapshot::capture(&sim, "test");
+        let mut buf = Vec::new();
+        snap.write_json(&mut buf).unwrap();
+        let back = Snapshot::read_json(&buf[..]).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn restore_reproduces_trajectory_exactly() {
+        // Original: run 50 steps, snapshot, run 50 more → final state A.
+        let mut orig = make_sim(42);
+        orig.run(50, &mut []).unwrap();
+        let snap = Snapshot::capture(&orig, "mid");
+        orig.run(50, &mut []).unwrap();
+        let final_a = orig.system().positions().to_vec();
+
+        // Restored replica with the same seed continues identically.
+        let mut replica = make_sim(42);
+        snap.restore(&mut replica).unwrap();
+        assert_eq!(replica.step_count(), 50);
+        replica.run(50, &mut []).unwrap();
+        assert_eq!(replica.system().positions(), final_a.as_slice());
+    }
+
+    #[test]
+    fn clone_with_new_seed_diverges() {
+        let mut orig = make_sim(42);
+        orig.run(50, &mut []).unwrap();
+        let snap = Snapshot::capture(&orig, "branch-point");
+        orig.run(50, &mut []).unwrap();
+
+        // Clone: same state, different noise stream → divergent exploration
+        // "without perturbing the original simulation".
+        let mut clone = make_sim(43);
+        snap.restore(&mut clone).unwrap();
+        clone.run(50, &mut []).unwrap();
+        assert_ne!(clone.system().positions(), orig.system().positions());
+    }
+
+    #[test]
+    fn restore_rejects_size_mismatch() {
+        let sim = make_sim(1);
+        let snap = Snapshot::capture(&sim, "x");
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+        let mut other = Simulation::new(
+            sys,
+            ForceField::new(Topology::new()),
+            Box::new(LangevinBaoab::new(300.0, 1.0, 0)),
+            0.01,
+        );
+        assert!(snap.restore(&mut other).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("spice_ckpt_test_{}.json", std::process::id()));
+        let sim = make_sim(5);
+        let snap = Snapshot::capture(&sim, "file");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(snap, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,87 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the MD engine.
+#[derive(Debug)]
+pub enum MdError {
+    /// A particle index referenced a non-existent particle.
+    BadIndex {
+        /// Offending index.
+        index: usize,
+        /// Number of particles in the system.
+        len: usize,
+    },
+    /// A named atom group was not found in the topology.
+    UnknownGroup(String),
+    /// The integration blew up (non-finite coordinate or energy).
+    NumericalBlowup {
+        /// Step at which the blow-up was detected.
+        step: u64,
+        /// Human-readable description of what went non-finite.
+        what: String,
+    },
+    /// Checkpoint (de)serialization failure.
+    Checkpoint(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdError::BadIndex { index, len } => {
+                write!(f, "particle index {index} out of bounds (system has {len})")
+            }
+            MdError::UnknownGroup(name) => write!(f, "unknown atom group '{name}'"),
+            MdError::NumericalBlowup { step, what } => {
+                write!(f, "numerical blow-up at step {step}: {what}")
+            }
+            MdError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            MdError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MdError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MdError {
+    fn from(e: std::io::Error) -> Self {
+        MdError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for MdError {
+    fn from(e: serde_json::Error) -> Self {
+        MdError::Checkpoint(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MdError::BadIndex { index: 7, len: 3 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+        let g = MdError::UnknownGroup("smd".into());
+        assert!(g.to_string().contains("smd"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: MdError = io.into();
+        assert!(matches!(e, MdError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

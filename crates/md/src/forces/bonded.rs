@@ -1,0 +1,332 @@
+//! Bonded force kernels: harmonic/FENE bonds, harmonic angles, cosine
+//! dihedrals. Each kernel adds forces into the accumulators and returns
+//! the term's potential energy.
+//!
+//! Conventions follow CHARMM/NAMD: bond `U = k (r − r0)²`,
+//! angle `U = k (θ − θ0)²`, dihedral `U = k (1 + cos(nφ − δ))`.
+
+use crate::topology::{Angle, Bond, BondKind, Dihedral};
+use crate::vec3::Vec3;
+
+/// Accumulate bond forces; returns bond energy (kcal/mol).
+pub fn bond_forces(bonds: &[Bond], positions: &[Vec3], forces: &mut [Vec3]) -> f64 {
+    let mut energy = 0.0;
+    for b in bonds {
+        let d = positions[b.j] - positions[b.i];
+        let r = d.norm();
+        if r == 0.0 {
+            // Coincident bonded particles: force direction undefined; skip
+            // (energy contribution of harmonic term is k r0², FENE is 0).
+            if b.kind == BondKind::Harmonic {
+                energy += b.k * b.r0 * b.r0;
+            }
+            continue;
+        }
+        let dir = d / r;
+        match b.kind {
+            BondKind::Harmonic => {
+                let dr = r - b.r0;
+                energy += b.k * dr * dr;
+                // F_j = -dU/dr · dir = -2k (r - r0) dir
+                let f = dir * (-2.0 * b.k * dr);
+                forces[b.j] += f;
+                forces[b.i] -= f;
+            }
+            BondKind::Fene => {
+                let x = r / b.r0;
+                // Cap at 99% extension: beyond it, continue linearly with
+                // the force at the cap. Steep enough to restore any
+                // transient over-extension, finite enough to stay
+                // integrable at production time steps (a hard clamp here
+                // is a numerical bomb: one rare over-extension event would
+                // kick velocities beyond recovery).
+                const X_CAP: f64 = 0.99;
+                if x >= X_CAP {
+                    let f_cap = b.k * (X_CAP * b.r0) / (1.0 - X_CAP * X_CAP);
+                    let e_cap = -0.5 * b.k * b.r0 * b.r0 * (1.0 - X_CAP * X_CAP).ln();
+                    energy += e_cap + f_cap * (r - X_CAP * b.r0);
+                    let f = dir * (-f_cap);
+                    forces[b.j] += f;
+                    forces[b.i] -= f;
+                    continue;
+                }
+                energy += -0.5 * b.k * b.r0 * b.r0 * (1.0 - x * x).ln();
+                // dU/dr = k r / (1 - x²)
+                let f = dir * (-b.k * r / (1.0 - x * x));
+                forces[b.j] += f;
+                forces[b.i] -= f;
+            }
+        }
+    }
+    energy
+}
+
+/// Accumulate harmonic-angle forces; returns angle energy (kcal/mol).
+pub fn angle_forces(angles: &[Angle], positions: &[Vec3], forces: &mut [Vec3]) -> f64 {
+    let mut energy = 0.0;
+    for a in angles {
+        let rij = positions[a.i] - positions[a.j];
+        let rkj = positions[a.k_idx] - positions[a.j];
+        let (nij, nkj) = (rij.norm(), rkj.norm());
+        if nij == 0.0 || nkj == 0.0 {
+            continue;
+        }
+        let cos_t = (rij.dot(rkj) / (nij * nkj)).clamp(-1.0, 1.0);
+        let theta = cos_t.acos();
+        let dt = theta - a.theta0;
+        energy += a.k * dt * dt;
+        // dU/dθ = 2k dθ ; chain rule via standard angle-force expressions.
+        let sin_t = (1.0 - cos_t * cos_t).sqrt().max(1e-8);
+        let coeff = 2.0 * a.k * dt / sin_t;
+        let fi = (rkj / (nij * nkj) - rij * (cos_t / (nij * nij))) * coeff;
+        let fk = (rij / (nij * nkj) - rkj * (cos_t / (nkj * nkj))) * coeff;
+        forces[a.i] += fi;
+        forces[a.k_idx] += fk;
+        forces[a.j] -= fi + fk;
+    }
+    energy
+}
+
+/// Accumulate cosine-dihedral forces; returns dihedral energy (kcal/mol).
+pub fn dihedral_forces(dihedrals: &[Dihedral], positions: &[Vec3], forces: &mut [Vec3]) -> f64 {
+    let mut energy = 0.0;
+    for d in dihedrals {
+        let b1 = positions[d.j] - positions[d.i];
+        let b2 = positions[d.k_idx] - positions[d.j];
+        let b3 = positions[d.l] - positions[d.k_idx];
+        let n1 = b1.cross(b2);
+        let n2 = b2.cross(b3);
+        let (n1n, n2n, b2n) = (n1.norm(), n2.norm(), b2.norm());
+        if n1n < 1e-10 || n2n < 1e-10 || b2n < 1e-10 {
+            continue; // collinear degenerate geometry
+        }
+        let cos_phi = (n1.dot(n2) / (n1n * n2n)).clamp(-1.0, 1.0);
+        let sin_phi = n1.cross(n2).dot(b2) / (n1n * n2n * b2n);
+        let phi = sin_phi.atan2(cos_phi);
+        let nf = d.n as f64;
+        energy += d.k * (1.0 + (nf * phi - d.delta).cos());
+        // dU/dφ = -k n sin(nφ - δ)
+        let du_dphi = -d.k * nf * (nf * phi - d.delta).sin();
+        // Standard analytic gradient (see e.g. Allen & Tildesley):
+        let fi = n1 * (du_dphi * b2n / (n1n * n1n));
+        let fl = n2 * (-du_dphi * b2n / (n2n * n2n));
+        let p = b1.dot(b2) / (b2n * b2n);
+        let q = b3.dot(b2) / (b2n * b2n);
+        let fj = fi * (-(1.0 + p)) + fl * q;
+        let fk = fl * (-(1.0 + q)) + fi * p;
+        forces[d.i] += fi;
+        forces[d.j] += fj;
+        forces[d.k_idx] += fk;
+        forces[d.l] += fl;
+    }
+    energy
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn numeric_force<F: Fn(&[Vec3]) -> f64>(energy: F, pos: &[Vec3], i: usize, axis: usize) -> f64 {
+        let h = 1e-6;
+        let mut p = pos.to_vec();
+        let mut m = pos.to_vec();
+        match axis {
+            0 => {
+                p[i].x += h;
+                m[i].x -= h;
+            }
+            1 => {
+                p[i].y += h;
+                m[i].y -= h;
+            }
+            _ => {
+                p[i].z += h;
+                m[i].z -= h;
+            }
+        }
+        -(energy(&p) - energy(&m)) / (2.0 * h)
+    }
+
+    #[test]
+    fn harmonic_bond_energy_and_force() {
+        let mut t = Topology::new();
+        t.add_harmonic_bond(0, 1, 1.0, 100.0);
+        let pos = [Vec3::zero(), Vec3::new(1.5, 0.0, 0.0)];
+        let mut f = [Vec3::zero(); 2];
+        let e = bond_forces(t.bonds(), &pos, &mut f);
+        assert!((e - 100.0 * 0.25).abs() < 1e-12);
+        // F_1 = -2k(r-r0) = -100 along +x (pull back)
+        assert!((f[1].x + 100.0).abs() < 1e-9);
+        assert!((f[0].x - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_bond_at_equilibrium_is_forceless() {
+        let mut t = Topology::new();
+        t.add_harmonic_bond(0, 1, 2.0, 50.0);
+        let pos = [Vec3::zero(), Vec3::new(0.0, 2.0, 0.0)];
+        let mut f = [Vec3::zero(); 2];
+        let e = bond_forces(t.bonds(), &pos, &mut f);
+        assert!(e.abs() < 1e-12);
+        assert!(f[0].norm() < 1e-12 && f[1].norm() < 1e-12);
+    }
+
+    #[test]
+    fn fene_diverges_near_max_extension() {
+        let mut t = Topology::new();
+        t.add_fene_bond(0, 1, 2.0, 10.0);
+        let near = [Vec3::zero(), Vec3::new(1.99, 0.0, 0.0)];
+        let far = [Vec3::zero(), Vec3::new(1.0, 0.0, 0.0)];
+        let mut f_near = [Vec3::zero(); 2];
+        let mut f_far = [Vec3::zero(); 2];
+        bond_forces(t.bonds(), &near, &mut f_near);
+        bond_forces(t.bonds(), &far, &mut f_far);
+        assert!(
+            f_near[1].x.abs() > 20.0 * f_far[1].x.abs(),
+            "FENE force must stiffen near R0: {} vs {}",
+            f_near[1].x,
+            f_far[1].x
+        );
+    }
+
+    #[test]
+    fn fene_beyond_max_extension_clamped_finite() {
+        let mut t = Topology::new();
+        t.add_fene_bond(0, 1, 2.0, 10.0);
+        let pos = [Vec3::zero(), Vec3::new(2.5, 0.0, 0.0)];
+        let mut f = [Vec3::zero(); 2];
+        let e = bond_forces(t.bonds(), &pos, &mut f);
+        assert!(e.is_finite());
+        assert!(f[1].is_finite());
+        assert!(f[1].x < 0.0, "restoring force points back");
+    }
+
+    #[test]
+    fn bond_force_matches_numeric_gradient() {
+        let mut t = Topology::new();
+        t.add_harmonic_bond(0, 1, 1.3, 42.0);
+        t.add_fene_bond(1, 2, 3.0, 7.0);
+        let pos = [
+            Vec3::new(0.1, 0.2, -0.1),
+            Vec3::new(1.4, -0.3, 0.5),
+            Vec3::new(2.0, 0.7, 0.2),
+        ];
+        let bonds = t.bonds().to_vec();
+        let energy = |p: &[Vec3]| {
+            let mut f = vec![Vec3::zero(); p.len()];
+            bond_forces(&bonds, p, &mut f)
+        };
+        let mut f = vec![Vec3::zero(); 3];
+        bond_forces(&bonds, &pos, &mut f);
+        for i in 0..3 {
+            for ax in 0..3 {
+                let num = numeric_force(energy, &pos, i, ax);
+                let ana = [f[i].x, f[i].y, f[i].z][ax];
+                assert!((num - ana).abs() < 1e-5 * (1.0 + ana.abs()), "i={i} ax={ax}: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn angle_force_matches_numeric_gradient() {
+        let mut t = Topology::new();
+        t.add_angle(0, 1, 2, 1.8, 12.0);
+        let pos = [
+            Vec3::new(1.0, 0.3, 0.0),
+            Vec3::new(0.0, 0.0, 0.1),
+            Vec3::new(-0.4, 1.1, -0.2),
+        ];
+        let angles = t.angles().to_vec();
+        let energy = |p: &[Vec3]| {
+            let mut f = vec![Vec3::zero(); p.len()];
+            angle_forces(&angles, p, &mut f)
+        };
+        let mut f = vec![Vec3::zero(); 3];
+        angle_forces(&angles, &pos, &mut f);
+        for i in 0..3 {
+            for ax in 0..3 {
+                let num = numeric_force(energy, &pos, i, ax);
+                let ana = [f[i].x, f[i].y, f[i].z][ax];
+                assert!((num - ana).abs() < 1e-4 * (1.0 + ana.abs()), "i={i} ax={ax}: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn angle_forces_conserve_momentum() {
+        let mut t = Topology::new();
+        t.add_angle(0, 1, 2, 2.1, 9.0);
+        let pos = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::zero(),
+            Vec3::new(0.2, 1.3, 0.4),
+        ];
+        let mut f = vec![Vec3::zero(); 3];
+        angle_forces(t.angles(), &pos, &mut f);
+        let net: Vec3 = f.iter().copied().sum();
+        assert!(net.norm() < 1e-10);
+    }
+
+    #[test]
+    fn dihedral_force_matches_numeric_gradient() {
+        let mut t = Topology::new();
+        t.add_dihedral(0, 1, 2, 3, 3, 0.7, 2.5);
+        let pos = [
+            Vec3::new(0.0, 1.0, 0.2),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.1),
+            Vec3::new(1.3, 0.9, -0.6),
+        ];
+        let dihedrals = t.dihedrals().to_vec();
+        let energy = |p: &[Vec3]| {
+            let mut f = vec![Vec3::zero(); p.len()];
+            dihedral_forces(&dihedrals, p, &mut f)
+        };
+        let mut f = vec![Vec3::zero(); 4];
+        dihedral_forces(&dihedrals, &pos, &mut f);
+        for i in 0..4 {
+            for ax in 0..3 {
+                let num = numeric_force(energy, &pos, i, ax);
+                let ana = [f[i].x, f[i].y, f[i].z][ax];
+                assert!((num - ana).abs() < 1e-4 * (1.0 + ana.abs()), "i={i} ax={ax}: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn dihedral_energy_bounds() {
+        // U = k (1 + cos(...)) ∈ [0, 2k].
+        let mut t = Topology::new();
+        t.add_dihedral(0, 1, 2, 3, 1, 0.0, 3.0);
+        for step in 0..20 {
+            let a = step as f64 * 0.3;
+            let pos = [
+                Vec3::new(a.cos(), a.sin(), 0.0),
+                Vec3::zero(),
+                Vec3::new(0.0, 0.0, 1.0),
+                Vec3::new(0.8, -0.3, 1.0),
+            ];
+            let mut f = vec![Vec3::zero(); 4];
+            let e = dihedral_forces(t.dihedrals(), &pos, &mut f);
+            assert!((0.0..=6.0 + 1e-9).contains(&e), "energy {e} out of bounds");
+        }
+    }
+
+    #[test]
+    fn degenerate_geometries_do_not_panic() {
+        let mut t = Topology::new();
+        t.add_harmonic_bond(0, 1, 1.0, 10.0);
+        t.add_angle(0, 1, 2, 1.0, 5.0);
+        t.add_dihedral(0, 1, 2, 3, 1, 0.0, 1.0);
+        // Everything coincident / collinear.
+        let pos = [Vec3::zero(), Vec3::zero(), Vec3::zero(), Vec3::zero()];
+        let mut f = vec![Vec3::zero(); 4];
+        let eb = bond_forces(t.bonds(), &pos, &mut f);
+        let ea = angle_forces(t.angles(), &pos, &mut f);
+        let ed = dihedral_forces(t.dihedrals(), &pos, &mut f);
+        assert!(eb.is_finite() && ea.is_finite() && ed.is_finite());
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,167 @@
+//! Overdamped (Brownian) dynamics — the high-friction limit of Langevin.
+//!
+//! `dx = (F/(mγ))·ACCEL·dt + √(2 D dt)·ξ`, with diffusion constant
+//! `D = kT·ACCEL/(m γ)` in Å²/ps. Inertia is discarded; velocities are
+//! left untouched. Used for cheap priming/pre-processing runs (§II's
+//! "pre-processing simulations" phase) where only configurational
+//! relaxation matters.
+
+use super::{ForceEval, Integrator};
+use crate::rng::GaussianStream;
+use crate::system::System;
+use crate::units;
+
+/// Euler–Maruyama Brownian integrator (overdamped NVT).
+#[derive(Debug, Clone)]
+pub struct Brownian {
+    temperature: f64,
+    gamma: f64,
+    noise: GaussianStream,
+}
+
+impl Brownian {
+    /// Create at `temperature` K with friction `gamma` ps⁻¹.
+    ///
+    /// # Panics
+    /// Panics unless both arguments are positive.
+    pub fn new(temperature: f64, gamma: f64, seed: u64) -> Self {
+        assert!(temperature > 0.0 && gamma > 0.0, "temperature and friction must be positive");
+        Brownian {
+            temperature,
+            gamma,
+            noise: GaussianStream::new(seed),
+        }
+    }
+
+    /// Diffusion constant (Å²/ps) for a particle of mass `m` (amu).
+    pub fn diffusion(&self, m: f64) -> f64 {
+        units::KB * self.temperature * units::ACCEL / (m * self.gamma)
+    }
+}
+
+impl Integrator for Brownian {
+    fn step(
+        &mut self,
+        system: &mut System,
+        dt: f64,
+        step_index: u64,
+        eval_forces: &mut ForceEval<'_>,
+    ) {
+        let step = step_index;
+        let noise = self.noise;
+        let kt_acc = units::KB * self.temperature * units::ACCEL;
+        {
+            let (pos, _vel, frc, inv_m) = system.split_mut();
+            for i in 0..pos.len() {
+                let mobility = inv_m[i] / self.gamma; // 1/(mγ)
+                let drift = frc[i] * (mobility * units::ACCEL * dt);
+                let sigma = (2.0 * kt_acc * inv_m[i] / self.gamma * dt).sqrt();
+                pos[i] += drift
+                    + crate::vec3::Vec3::new(
+                        sigma * noise.sample3(step, i as u64, 0),
+                        sigma * noise.sample3(step, i as u64, 1),
+                        sigma * noise.sample3(step, i as u64, 2),
+                    );
+            }
+        }
+        eval_forces(system);
+    }
+
+    fn name(&self) -> &str {
+        "brownian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::{ForceField, Restraint};
+    use crate::topology::Topology;
+    use crate::vec3::Vec3;
+    use spice_stats::RunningStats;
+
+    #[test]
+    fn free_diffusion_msd_matches_einstein() {
+        // MSD(t) = 6 D t for a free Brownian particle.
+        let mut sys = System::new();
+        let n = 500;
+        for _ in 0..n {
+            sys.add_particle(Vec3::zero(), 10.0, 0.0, 0);
+        }
+        let mut br = Brownian::new(300.0, 10.0, 5);
+        let d = br.diffusion(10.0);
+        let dt = 0.01;
+        let nsteps = 400;
+        let mut eval = |_: &mut System| {};
+        for i in 0..nsteps {
+            br.step(&mut sys, dt, i as u64, &mut eval);
+        }
+        let t = nsteps as f64 * dt;
+        let msd: f64 = sys.positions().iter().map(|p| p.norm_sq()).sum::<f64>() / n as f64;
+        let expected = 6.0 * d * t;
+        assert!(
+            (msd - expected).abs() < 0.15 * expected,
+            "MSD {msd} vs 6Dt {expected}"
+        );
+    }
+
+    #[test]
+    fn harmonic_well_boltzmann_variance() {
+        let k = 3.0;
+        let mut sys = System::new();
+        let mut ff = ForceField::new(Topology::new());
+        for i in 0..50 {
+            sys.add_particle(Vec3::zero(), 5.0, 0.0, 0);
+            ff = ff.with_restraint(Restraint::harmonic(i, Vec3::zero(), k));
+        }
+        ff.evaluate(&mut sys);
+        let mut br = Brownian::new(300.0, 20.0, 7);
+        let mut stats = RunningStats::new();
+        // dt must satisfy  (2k·ACCEL/(mγ)) dt ≪ 1 for Euler-Maruyama accuracy.
+        let dt = 0.002;
+        for step in 0..30_000u64 {
+            let mut eval = |s: &mut System| {
+                ff.evaluate(s);
+            };
+            br.step(&mut sys, dt, step, &mut eval);
+            if step > 5_000 && step % 10 == 0 {
+                for p in sys.positions() {
+                    stats.push(p.x);
+                }
+            }
+        }
+        let expected = units::KT_300 / (2.0 * k);
+        let measured = stats.variance();
+        assert!(
+            (measured - expected).abs() < 0.15 * expected,
+            "variance {measured} vs Boltzmann {expected}"
+        );
+    }
+
+    #[test]
+    fn velocities_untouched() {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+        sys.velocities_mut()[0] = Vec3::new(1.0, 2.0, 3.0);
+        let mut br = Brownian::new(300.0, 1.0, 0);
+        let mut eval = |_: &mut System| {};
+        br.step(&mut sys, 0.01, 0, &mut eval);
+        assert_eq!(sys.velocities()[0], Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sys = System::new();
+            sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+            let mut br = Brownian::new(300.0, 1.0, seed);
+            let mut eval = |_: &mut System| {};
+            for i in 0..50u64 {
+                br.step(&mut sys, 0.01, i, &mut eval);
+            }
+            sys.positions()[0]
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,45 @@
+//! Time integrators.
+//!
+//! * [`VelocityVerlet`] — symplectic NVE; used for energy-conservation
+//!   validation of the force field.
+//! * [`LangevinBaoab`] — the production NVT integrator (Leimkuhler &
+//!   Matthews BAOAB splitting). The Langevin thermostat doubles as the
+//!   implicit solvent: friction γ models water drag on the CG beads.
+//! * [`Brownian`] — overdamped limit, used for cheap priming runs.
+//!
+//! Integrators receive a force-evaluation callback so bias forces (SMD
+//! spring, IMD user forces) are recomputed at the correct sub-step.
+
+pub mod brownian;
+pub mod langevin;
+pub mod velocity_verlet;
+
+pub use brownian::Brownian;
+pub use langevin::LangevinBaoab;
+pub use velocity_verlet::VelocityVerlet;
+
+use crate::system::System;
+
+/// A force evaluation callback: recompute `system.forces()` for the
+/// current positions (force field + any active biases).
+pub type ForceEval<'a> = dyn FnMut(&mut System) + 'a;
+
+/// A time-stepping scheme.
+pub trait Integrator {
+    /// Advance the system by one step of `dt` picoseconds. `step_index`
+    /// is the global step counter (stochastic integrators key their noise
+    /// on it, which makes checkpoint/restore exact). `eval_forces` must
+    /// leave `system.forces()` consistent with `system.positions()`. On
+    /// entry, forces are assumed consistent with the current positions
+    /// (the driver guarantees this).
+    fn step(
+        &mut self,
+        system: &mut System,
+        dt: f64,
+        step_index: u64,
+        eval_forces: &mut ForceEval<'_>,
+    );
+
+    /// Scheme name for diagnostics.
+    fn name(&self) -> &str;
+}

@@ -1,0 +1,153 @@
+//! Steepest-descent energy minimization with adaptive step size — the
+//! standard "remove bad contacts before dynamics" preparation stage.
+
+use crate::forces::ForceField;
+use crate::system::System;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinimizeResult {
+    /// Iterations performed.
+    pub iterations: u32,
+    /// Potential energy at entry (kcal/mol).
+    pub initial_energy: f64,
+    /// Potential energy at exit (kcal/mol).
+    pub final_energy: f64,
+    /// Largest force component magnitude at exit (kcal mol⁻¹ Å⁻¹).
+    pub max_force: f64,
+    /// True when `max_force` fell below the tolerance.
+    pub converged: bool,
+}
+
+/// Steepest descent: move along the force with a trust-radius step,
+/// growing the step on success and shrinking on energy increase.
+///
+/// Velocities are untouched. Returns after `max_iterations` or when the
+/// largest force component drops below `force_tolerance`.
+pub fn steepest_descent(
+    system: &mut System,
+    force_field: &mut ForceField,
+    max_iterations: u32,
+    force_tolerance: f64,
+    max_step: f64,
+) -> MinimizeResult {
+    assert!(force_tolerance > 0.0 && max_step > 0.0);
+    let mut step = max_step * 0.1;
+    let mut energy = force_field.evaluate(system).total();
+    let initial_energy = energy;
+    let mut iterations = 0;
+
+    for _ in 0..max_iterations {
+        let fmax = system
+            .forces()
+            .iter()
+            .map(|f| f.x.abs().max(f.y.abs()).max(f.z.abs()))
+            .fold(0.0f64, f64::max);
+        if fmax < force_tolerance {
+            return MinimizeResult {
+                iterations,
+                initial_energy,
+                final_energy: energy,
+                max_force: fmax,
+                converged: true,
+            };
+        }
+        // Trial move: displace along normalized forces, capped per atom.
+        let scale = step / fmax;
+        let backup: Vec<crate::Vec3> = system.positions().to_vec();
+        let forces: Vec<crate::Vec3> = system.forces().to_vec();
+        for (p, f) in system.positions_mut().iter_mut().zip(&forces) {
+            *p += *f * scale;
+        }
+        let new_energy = force_field.evaluate(system).total();
+        if new_energy < energy {
+            energy = new_energy;
+            step = (step * 1.2).min(max_step);
+        } else {
+            // Reject and shrink.
+            system.positions_mut().copy_from_slice(&backup);
+            force_field.evaluate(system);
+            step *= 0.5;
+            if step < 1e-10 {
+                break;
+            }
+        }
+        iterations += 1;
+    }
+    let fmax = system
+        .forces()
+        .iter()
+        .map(|f| f.x.abs().max(f.y.abs()).max(f.z.abs()))
+        .fold(0.0f64, f64::max);
+    MinimizeResult {
+        iterations,
+        initial_energy,
+        final_energy: energy,
+        max_force: fmax,
+        converged: fmax < force_tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::{LjParams, NonBonded, Restraint};
+    use crate::topology::Topology;
+    use crate::vec3::Vec3;
+
+    #[test]
+    fn relaxes_into_harmonic_minimum() {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::new(5.0, -3.0, 2.0), 1.0, 0.0, 0);
+        let mut ff = ForceField::new(Topology::new())
+            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 2.0));
+        let r = steepest_descent(&mut sys, &mut ff, 500, 1e-4, 0.5);
+        assert!(r.converged, "did not converge: {r:?}");
+        assert!(sys.positions()[0].norm() < 1e-3);
+        assert!(r.final_energy < 1e-4);
+        assert!(r.final_energy < r.initial_energy);
+    }
+
+    #[test]
+    fn removes_bad_contact() {
+        // Two WCA beads placed almost on top of each other — the classic
+        // bad contact that would blow up dynamics.
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+        sys.add_particle(Vec3::new(0.4, 0.1, 0.0), 1.0, 0.0, 0);
+        let mut ff = ForceField::new(Topology::new())
+            .with_nonbonded(NonBonded::new(LjParams::wca(1.0, 1.0), 2.0, 0.3));
+        let before = ff.evaluate(&mut sys).total();
+        assert!(before > 100.0, "overlap must be catastrophic: {before}");
+        let r = steepest_descent(&mut sys, &mut ff, 2000, 1e-3, 0.2);
+        assert!(
+            r.final_energy < 1e-2,
+            "contact not resolved: E = {}",
+            r.final_energy
+        );
+        let sep = (sys.positions()[1] - sys.positions()[0]).norm();
+        assert!(sep > 1.0, "beads must separate beyond σ: {sep}");
+    }
+
+    #[test]
+    fn converged_system_exits_immediately() {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+        let mut ff = ForceField::new(Topology::new())
+            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 1.0));
+        let r = steepest_descent(&mut sys, &mut ff, 100, 1e-6, 0.5);
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn velocities_untouched() {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::new(1.0, 0.0, 0.0), 1.0, 0.0, 0);
+        sys.velocities_mut()[0] = Vec3::new(0.5, 0.5, 0.5);
+        let mut ff = ForceField::new(Topology::new())
+            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 1.0));
+        steepest_descent(&mut sys, &mut ff, 50, 1e-4, 0.5);
+        assert_eq!(sys.velocities()[0], Vec3::new(0.5, 0.5, 0.5));
+    }
+}

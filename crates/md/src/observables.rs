@@ -1,0 +1,180 @@
+//! Structural observables over particle groups.
+//!
+//! These feed Fig. 3's analysis (DNA extension / stretching along the
+//! pore) and general trajectory monitoring.
+
+use crate::system::System;
+use crate::vec3::Vec3;
+
+/// End-to-end distance of an ordered chain of particle indices.
+pub fn end_to_end(system: &System, chain: &[usize]) -> f64 {
+    if chain.len() < 2 {
+        return 0.0;
+    }
+    (system.positions()[*chain.last().unwrap()] - system.positions()[chain[0]]).norm()
+}
+
+/// Contour length: sum of consecutive bead separations along a chain.
+pub fn contour_length(system: &System, chain: &[usize]) -> f64 {
+    chain
+        .windows(2)
+        .map(|w| (system.positions()[w[1]] - system.positions()[w[0]]).norm())
+        .sum()
+}
+
+/// Mean consecutive-bead spacing along a chain (Å); `NaN` for < 2 beads.
+pub fn mean_bead_spacing(system: &System, chain: &[usize]) -> f64 {
+    if chain.len() < 2 {
+        return f64::NAN;
+    }
+    contour_length(system, chain) / (chain.len() - 1) as f64
+}
+
+/// Per-link bead spacings paired with the link midpoint z-coordinate —
+/// the raw data behind Fig. 3's "strand stretches near the constriction".
+pub fn spacing_profile(system: &System, chain: &[usize]) -> Vec<(f64, f64)> {
+    chain
+        .windows(2)
+        .map(|w| {
+            let a = system.positions()[w[0]];
+            let b = system.positions()[w[1]];
+            (0.5 * (a.z + b.z), (b - a).norm())
+        })
+        .collect()
+}
+
+/// Radius of gyration of a group (mass-weighted).
+pub fn radius_of_gyration(system: &System, group: &[usize]) -> f64 {
+    if group.is_empty() {
+        return 0.0;
+    }
+    let com = system.center_of_mass_of(group.iter().copied());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &i in group {
+        let m = system.masses()[i];
+        num += m * (system.positions()[i] - com).norm_sq();
+        den += m;
+    }
+    (num / den).sqrt()
+}
+
+/// z-coordinate of a group's center of mass (the SMD reaction coordinate:
+/// the paper computes the PMF along the vertical pore axis).
+pub fn com_z(system: &System, group: &[usize]) -> f64 {
+    system.center_of_mass_of(group.iter().copied()).z
+}
+
+/// Center of mass of a group.
+pub fn com(system: &System, group: &[usize]) -> Vec3 {
+    system.center_of_mass_of(group.iter().copied())
+}
+
+/// Axial occupancy: bead count per z-bin over `[z_lo, z_hi)` for a group.
+/// The time-average of this profile is the translocation-progress
+/// observable (how much of the strand is inside the barrel at any time).
+pub fn axial_density(
+    system: &System,
+    group: &[usize],
+    z_lo: f64,
+    z_hi: f64,
+    nbins: usize,
+) -> Vec<u32> {
+    assert!(nbins > 0 && z_hi > z_lo);
+    let width = (z_hi - z_lo) / nbins as f64;
+    let mut bins = vec![0u32; nbins];
+    for &i in group {
+        let z = system.positions()[i].z;
+        if z >= z_lo && z < z_hi {
+            let idx = (((z - z_lo) / width) as usize).min(nbins - 1);
+            bins[idx] += 1;
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_system(zs: &[f64]) -> (System, Vec<usize>) {
+        let mut s = System::new();
+        let idx: Vec<usize> = zs
+            .iter()
+            .map(|&z| s.add_particle(Vec3::new(0.0, 0.0, z), 2.0, 0.0, 0))
+            .collect();
+        (s, idx)
+    }
+
+    #[test]
+    fn end_to_end_straight_chain() {
+        let (s, idx) = chain_system(&[0.0, 1.0, 2.0, 3.0]);
+        assert!((end_to_end(&s, &idx) - 3.0).abs() < 1e-12);
+        assert!((contour_length(&s, &idx) - 3.0).abs() < 1e-12);
+        assert!((mean_bead_spacing(&s, &idx) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contour_exceeds_end_to_end_for_bent_chain() {
+        let mut s = System::new();
+        let idx = vec![
+            s.add_particle(Vec3::new(0.0, 0.0, 0.0), 1.0, 0.0, 0),
+            s.add_particle(Vec3::new(1.0, 0.0, 0.0), 1.0, 0.0, 0),
+            s.add_particle(Vec3::new(1.0, 1.0, 0.0), 1.0, 0.0, 0),
+        ];
+        assert!(contour_length(&s, &idx) > end_to_end(&s, &idx));
+    }
+
+    #[test]
+    fn spacing_profile_locates_stretch() {
+        // Chain with one stretched link between z=2 and z=4.
+        let (s, idx) = chain_system(&[0.0, 1.0, 2.0, 4.0, 5.0]);
+        let prof = spacing_profile(&s, &idx);
+        let (widest_mid, widest) = prof
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(widest, 2.0);
+        assert_eq!(widest_mid, 3.0);
+    }
+
+    #[test]
+    fn rg_of_point_is_zero() {
+        let (s, idx) = chain_system(&[5.0]);
+        assert_eq!(radius_of_gyration(&s, &idx), 0.0);
+        assert_eq!(radius_of_gyration(&s, &[]), 0.0);
+    }
+
+    #[test]
+    fn rg_of_symmetric_pair() {
+        let (s, idx) = chain_system(&[-1.0, 1.0]);
+        // Each bead 1 Å from COM.
+        assert!((radius_of_gyration(&s, &idx) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn com_z_tracks_group() {
+        let (s, idx) = chain_system(&[0.0, 2.0]);
+        assert!((com_z(&s, &idx) - 1.0).abs() < 1e-12);
+        assert!((com_z(&s, &idx[1..]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axial_density_counts_by_bin() {
+        let (s, idx) = chain_system(&[0.5, 1.5, 1.7, 9.0, -2.0]);
+        let bins = axial_density(&s, &idx, 0.0, 10.0, 10);
+        assert_eq!(bins[0], 1);
+        assert_eq!(bins[1], 2);
+        assert_eq!(bins[9], 1);
+        assert_eq!(bins.iter().sum::<u32>(), 4, "out-of-range bead excluded");
+    }
+
+    #[test]
+    fn degenerate_chains() {
+        let (s, idx) = chain_system(&[1.0]);
+        assert_eq!(end_to_end(&s, &idx), 0.0);
+        assert!(mean_bead_spacing(&s, &idx).is_nan());
+        assert!(spacing_profile(&s, &idx).is_empty());
+    }
+}

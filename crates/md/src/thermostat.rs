@@ -1,0 +1,117 @@
+//! Velocity-rescaling thermostats for equilibration.
+//!
+//! Production NVT sampling uses the Langevin integrator; these simple
+//! thermostats are used only to bring a freshly built system to the target
+//! temperature quickly (the "minimize + heat" stage of system prep).
+
+use crate::system::System;
+
+/// Hard velocity rescale to exactly the target temperature.
+#[derive(Debug, Clone, Copy)]
+pub struct VelocityRescale {
+    /// Target temperature (K).
+    pub target: f64,
+}
+
+impl VelocityRescale {
+    /// Rescale velocities so the instantaneous temperature equals the
+    /// target. No-op for a system at 0 K (nothing to scale).
+    pub fn apply(&self, system: &mut System) {
+        let t = system.temperature();
+        if t <= 0.0 {
+            return;
+        }
+        let s = (self.target / t).sqrt();
+        for v in system.velocities_mut() {
+            *v *= s;
+        }
+    }
+}
+
+/// Berendsen weak-coupling thermostat: relaxes T towards the target with
+/// time constant τ.
+#[derive(Debug, Clone, Copy)]
+pub struct Berendsen {
+    /// Target temperature (K).
+    pub target: f64,
+    /// Coupling time constant τ (ps).
+    pub tau: f64,
+}
+
+impl Berendsen {
+    /// Apply one coupling step of length `dt` (ps).
+    pub fn apply(&self, system: &mut System, dt: f64) {
+        let t = system.temperature();
+        if t <= 0.0 {
+            return;
+        }
+        let lambda2 = 1.0 + dt / self.tau * (self.target / t - 1.0);
+        let s = lambda2.max(0.0).sqrt();
+        for v in system.velocities_mut() {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::Vec3;
+
+    fn hot_system() -> System {
+        let mut s = System::new();
+        for i in 0..50 {
+            s.add_particle(Vec3::new(i as f64, 0.0, 0.0), 10.0, 0.0, 0);
+            s.velocities_mut()[i] = Vec3::new(10.0, -6.0, 8.0);
+        }
+        s
+    }
+
+    #[test]
+    fn rescale_hits_target_exactly() {
+        let mut s = hot_system();
+        VelocityRescale { target: 300.0 }.apply(&mut s);
+        assert!((s.temperature() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescale_noop_at_zero_kelvin() {
+        let mut s = System::new();
+        s.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+        VelocityRescale { target: 300.0 }.apply(&mut s);
+        assert_eq!(s.temperature(), 0.0);
+    }
+
+    #[test]
+    fn berendsen_relaxes_monotonically() {
+        let mut s = hot_system();
+        let t0 = s.temperature();
+        assert!(t0 > 300.0);
+        let th = Berendsen {
+            target: 300.0,
+            tau: 1.0,
+        };
+        let mut prev = t0;
+        for _ in 0..100 {
+            th.apply(&mut s, 0.1);
+            let t = s.temperature();
+            assert!(t <= prev + 1e-9, "temperature must decay: {prev} -> {t}");
+            prev = t;
+        }
+        assert!((prev - 300.0).abs() < 5.0, "final T {prev}");
+    }
+
+    #[test]
+    fn berendsen_heats_cold_system() {
+        let mut s = hot_system();
+        VelocityRescale { target: 50.0 }.apply(&mut s);
+        let th = Berendsen {
+            target: 300.0,
+            tau: 0.5,
+        };
+        for _ in 0..200 {
+            th.apply(&mut s, 0.1);
+        }
+        assert!((s.temperature() - 300.0).abs() < 5.0);
+    }
+}

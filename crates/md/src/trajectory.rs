@@ -1,0 +1,123 @@
+//! Trajectory output in the XYZ text format — what the paper's
+//! visualization engines consumed (frame streams), in the simplest
+//! portable dialect (readable by VMD, OVITO, ASE…).
+
+use crate::system::System;
+use std::io::Write;
+
+/// Streaming XYZ trajectory writer over any `Write` sink.
+pub struct XyzWriter<W: Write> {
+    sink: W,
+    /// Species id → element label; unknown species render as "X".
+    species_names: Vec<String>,
+    frames: u64,
+}
+
+impl<W: Write> XyzWriter<W> {
+    /// Writer with species labels (index = species id).
+    pub fn new(sink: W, species_names: Vec<String>) -> Self {
+        XyzWriter {
+            sink,
+            species_names,
+            frames: 0,
+        }
+    }
+
+    /// Append one frame with a comment line.
+    pub fn write_frame(&mut self, system: &System, comment: &str) -> std::io::Result<()> {
+        writeln!(self.sink, "{}", system.len())?;
+        // XYZ comment lines must be single-line.
+        writeln!(self.sink, "{}", comment.replace('\n', " "))?;
+        for i in 0..system.len() {
+            let name = self
+                .species_names
+                .get(system.species()[i] as usize)
+                .map(String::as_str)
+                .unwrap_or("X");
+            let p = system.positions()[i];
+            writeln!(self.sink, "{name} {:.4} {:.4} {:.4}", p.x, p.y, p.z)?;
+        }
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Finish writing and recover the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Parse the frame count of an XYZ stream (validation / round-trip use).
+pub fn count_xyz_frames(text: &str) -> usize {
+    let mut lines = text.lines();
+    let mut frames = 0;
+    while let Some(n_line) = lines.next() {
+        let Ok(n) = n_line.trim().parse::<usize>() else {
+            break;
+        };
+        if lines.next().is_none() {
+            break; // missing comment line
+        }
+        for _ in 0..n {
+            if lines.next().is_none() {
+                return frames; // truncated frame
+            }
+        }
+        frames += 1;
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::Vec3;
+
+    fn sys() -> System {
+        let mut s = System::new();
+        s.add_particle(Vec3::new(1.0, 2.0, 3.0), 1.0, 0.0, 0);
+        s.add_particle(Vec3::new(-1.0, 0.0, 0.5), 1.0, -1.0, 1);
+        s
+    }
+
+    #[test]
+    fn writes_valid_xyz() {
+        let mut w = XyzWriter::new(Vec::new(), vec!["C".into(), "P".into()]);
+        w.write_frame(&sys(), "frame 0").unwrap();
+        w.write_frame(&sys(), "frame 1").unwrap();
+        assert_eq!(w.frames(), 2);
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert!(text.starts_with("2\nframe 0\nC 1.0000 2.0000 3.0000\nP "));
+        assert_eq!(count_xyz_frames(&text), 2);
+    }
+
+    #[test]
+    fn unknown_species_renders_x() {
+        let mut s = System::new();
+        s.add_particle(Vec3::zero(), 1.0, 0.0, 9);
+        let mut w = XyzWriter::new(Vec::new(), vec!["C".into()]);
+        w.write_frame(&s, "c").unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert!(text.contains("X 0.0000"));
+    }
+
+    #[test]
+    fn multiline_comment_flattened() {
+        let mut w = XyzWriter::new(Vec::new(), vec![]);
+        w.write_frame(&sys(), "a\nb").unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(count_xyz_frames(&text), 1);
+        assert!(text.contains("a b"));
+    }
+
+    #[test]
+    fn frame_counter_rejects_garbage() {
+        assert_eq!(count_xyz_frames("not xyz"), 0);
+        assert_eq!(count_xyz_frames("3\ncomment\nC 0 0 0\n"), 0, "truncated");
+    }
+}

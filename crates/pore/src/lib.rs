@@ -1,0 +1,43 @@
+//! # spice-pore
+//!
+//! The biomolecular model of the SPICE system: a coarse-grained
+//! α-hemolysin protein pore embedded in a lipid membrane, implicit
+//! electrolyte solvent, and a single-stranded DNA bead–spring polymer —
+//! Fig. 1 of the paper, rebuilt at coarse-grained resolution (see
+//! DESIGN.md's substitution table for why this preserves the SMD-JE
+//! phenomenology).
+//!
+//! Model anatomy (lengths in Å, z is the pore axis; z = 0 is the *trans*
+//! membrane face, increasing z toward the *cis* cap mouth):
+//!
+//! * [`geometry`] — the axisymmetric pore radius profile r(z):
+//!   β-barrel stem through the membrane, the narrow constriction at the
+//!   stem/vestibule junction, the wide cap vestibule; plus the
+//!   seven-fold-symmetric wall corrugation of the heptameric channel.
+//! * [`potential`] — [`spice_md::forces::ExternalPotential`]s derived from
+//!   the geometry: confining wall, charged constriction ring
+//!   (Debye–Hückel), membrane slab exclusion.
+//! * [`dna`] — the ssDNA bead–spring chain (one bead per nucleotide,
+//!   FENE backbone, bending stiffness, phosphate charges).
+//! * [`solvent`] — implicit 1 M KCl water: Langevin friction, Debye
+//!   length, dielectric.
+//! * [`build`] — assembles the complete simulation-ready system and
+//!   defines the named groups (`"dna"`, `"smd"`) the steering and SMD
+//!   layers address.
+//! * [`analysis`] — structural observables (Fig. 1 summary, Fig. 3
+//!   stretching profile).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod build;
+pub mod dna;
+pub mod geometry;
+pub mod potential;
+pub mod solvent;
+
+pub use build::{PoreSystem, PoreSystemBuilder};
+pub use dna::DnaParams;
+pub use geometry::PoreGeometry;
+pub use potential::{AxialCorrugation, ConstrictionRing, MembraneSlab, PoreWall};
+pub use solvent::Solvent;

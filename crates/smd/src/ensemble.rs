@@ -1,0 +1,177 @@
+//! Rayon-parallel ensembles of independent pulling realizations.
+//!
+//! This is the in-process analogue of the paper's production campaign:
+//! "72 parallel MD simulations ... each individual simulation running on
+//! 128 or 256 processors" (§III). Here each realization is an independent
+//! task in a work-stealing pool; the grid-level scheduling of those tasks
+//! onto federated resources is modeled separately by `spice-gridsim`.
+
+use crate::protocol::PullProtocol;
+use crate::runner::run_pull;
+use crate::work::WorkTrajectory;
+use rayon::prelude::*;
+use spice_md::{MdError, Simulation};
+use spice_stats::rng::SeedSequence;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `n` independent realizations of `protocol`.
+///
+/// `factory(seed)` must build a fresh, independently seeded simulation
+/// (including its own thermalization); realization `i` gets seed
+/// `seeds.stream(i)`. Realizations run in parallel via rayon and results
+/// come back ordered by realization index regardless of schedule.
+///
+/// Realizations that fail (numerical blow-up) are returned as errors in
+/// the per-realization slot rather than aborting the ensemble — on the
+/// grid, one failed job does not kill the campaign.
+pub fn run_ensemble<F>(
+    factory: F,
+    protocol: &PullProtocol,
+    n: usize,
+    seeds: SeedSequence,
+) -> Vec<Result<WorkTrajectory, MdError>>
+where
+    F: Fn(u64) -> Simulation + Sync,
+{
+    protocol.validate();
+    (0..n)
+        .into_par_iter()
+        .map(|i| isolated_realization(&factory, protocol, seeds, i))
+        .collect()
+}
+
+/// One realization with panic isolation: a blown-up realization must not
+/// kill the campaign (on the grid, one failed job doesn't either).
+fn isolated_realization<F>(
+    factory: &F,
+    protocol: &PullProtocol,
+    seeds: SeedSequence,
+    i: usize,
+) -> Result<WorkTrajectory, MdError>
+where
+    F: Fn(u64) -> Simulation + Sync,
+{
+    let seed = seeds.stream(i as u64);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut sim = factory(seed);
+        run_pull(&mut sim, protocol, seed).map(|o| o.trajectory)
+    }))
+    .unwrap_or_else(|_| {
+        Err(MdError::NumericalBlowup {
+            step: 0,
+            what: format!("realization {i} (seed {seed}) panicked"),
+        })
+    })
+}
+
+/// Keep only the successful realizations (logging-free convenience).
+pub fn successes(results: Vec<Result<WorkTrajectory, MdError>>) -> Vec<WorkTrajectory> {
+    results.into_iter().filter_map(Result::ok).collect()
+}
+
+/// Like [`run_ensemble`] but reports completion through a shared atomic
+/// counter — the campaign-monitoring hook a steering client polls
+/// ("launch, monitor and steer a large number of parallel simulations").
+/// `progress` is incremented exactly once per finished realization,
+/// regardless of outcome; relaxed ordering suffices for a monotone
+/// progress gauge.
+pub fn run_ensemble_with_progress<F>(
+    factory: F,
+    protocol: &PullProtocol,
+    n: usize,
+    seeds: SeedSequence,
+    progress: &AtomicUsize,
+) -> Vec<Result<WorkTrajectory, MdError>>
+where
+    F: Fn(u64) -> Simulation + Sync,
+{
+    protocol.validate();
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let out = isolated_realization(&factory, protocol, seeds, i);
+            progress.fetch_add(1, Ordering::Relaxed);
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_md::forces::{ForceField, Restraint};
+    use spice_md::{System, Topology, Vec3};
+
+    fn factory(seed: u64) -> Simulation {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 50.0, 0.0, 0);
+        let mut topo = Topology::new();
+        topo.set_group("smd", vec![0]);
+        let ff = ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), 0.5));
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(spice_md::integrate::LangevinBaoab::new(300.0, 5.0, seed)),
+            0.02,
+        )
+    }
+
+    fn proto() -> PullProtocol {
+        PullProtocol {
+            kappa_pn_per_a: 300.0,
+            v_a_per_ns: 2000.0,
+            pull_distance: 2.0,
+            dt_ps: 0.02,
+            equilibration_steps: 100,
+            sample_stride: 10,
+        }
+    }
+
+    #[test]
+    fn ensemble_returns_n_ordered_realizations() {
+        let seeds = SeedSequence::new(7);
+        let results = run_ensemble(factory, &proto(), 6, seeds);
+        assert_eq!(results.len(), 6);
+        let trajs = successes(results);
+        assert_eq!(trajs.len(), 6);
+        // Seeds recorded in order.
+        for (i, t) in trajs.iter().enumerate() {
+            assert_eq!(t.seed, seeds.stream(i as u64));
+        }
+    }
+
+    #[test]
+    fn realizations_are_independent() {
+        let seeds = SeedSequence::new(8);
+        let trajs = successes(run_ensemble(factory, &proto(), 4, seeds));
+        let works: Vec<f64> = trajs.iter().map(|t| t.final_work()).collect();
+        for i in 0..works.len() {
+            for j in (i + 1)..works.len() {
+                assert_ne!(works[i], works[j], "realizations must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn progress_counter_reaches_n() {
+        let progress = AtomicUsize::new(0);
+        let results = run_ensemble_with_progress(
+            factory,
+            &proto(),
+            5,
+            SeedSequence::new(4),
+            &progress,
+        );
+        assert_eq!(results.len(), 5);
+        assert_eq!(progress.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn ensemble_is_deterministic_regardless_of_parallelism() {
+        let a = successes(run_ensemble(factory, &proto(), 5, SeedSequence::new(3)));
+        let b = successes(run_ensemble(factory, &proto(), 5, SeedSequence::new(3)));
+        let wa: Vec<f64> = a.iter().map(|t| t.final_work()).collect();
+        let wb: Vec<f64> = b.iter().map(|t| t.final_work()).collect();
+        assert_eq!(wa, wb);
+    }
+}

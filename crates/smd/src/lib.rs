@@ -1,0 +1,36 @@
+//! # spice-smd
+//!
+//! Steered Molecular Dynamics: the non-equilibrium pulling half of the
+//! paper's SMD-JE method (§II).
+//!
+//! A fictitious *pulling atom* moves along the pore axis at constant
+//! velocity v; the *SMD atoms* (a named group) are coupled to it by a
+//! harmonic spring of constant κ. The external work done by the moving
+//! guide is accumulated along each realization; `spice-jarzynski` turns
+//! ensembles of work trajectories into equilibrium free-energy profiles.
+//!
+//! * [`pulling`] — the [`SmdSpring`] bias force (mass-weighted COM
+//!   coupling, exactly NAMD's SMD).
+//! * [`protocol`] — pulling protocols in the paper's units (κ in pN/Å,
+//!   v in Å/ns), the 10 Å sub-trajectory, equilibration settings.
+//! * [`work`] — work trajectories: time series of (guide displacement,
+//!   COM displacement, accumulated work), with sub-trajectory
+//!   segmentation (§IV-A).
+//! * [`runner`] — drive one realization: equilibrate, attach the spring,
+//!   pull, record.
+//! * [`ensemble`] — rayon-parallel ensembles of independent realizations,
+//!   the in-process analogue of the paper's 72-simulation grid campaign.
+
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod protocol;
+pub mod pulling;
+pub mod runner;
+pub mod work;
+
+pub use ensemble::{run_ensemble, run_ensemble_with_progress};
+pub use protocol::PullProtocol;
+pub use pulling::SmdSpring;
+pub use runner::{run_pull, run_reverse_pull, PullOutcome};
+pub use work::{segment_trajectory, WorkSample, WorkTrajectory};

@@ -1,0 +1,323 @@
+//! Drive one SMD realization: equilibrate with the spring static, then
+//! move the guide at constant v and record the work integral.
+
+use crate::protocol::PullProtocol;
+use crate::pulling::SmdSpring;
+use crate::work::{WorkSample, WorkTrajectory};
+use spice_md::{MdError, Simulation};
+
+/// Result of one pulling realization.
+#[derive(Debug)]
+pub struct PullOutcome {
+    /// The recorded work trajectory.
+    pub trajectory: WorkTrajectory,
+    /// MD steps actually executed (equilibration + pull).
+    pub steps: u64,
+}
+
+/// Run one constant-velocity pull on `sim`, steering the group named
+/// `"smd"` in the simulation's topology.
+///
+/// Sequence:
+/// 1. equilibrate `protocol.equilibration_steps` with the spring anchored
+///    at the group's current COM (v = 0 effectively: the guide holds
+///    still),
+/// 2. pull for `protocol.pull_steps()`, accumulating
+///    `W += v·F_spring·dt` by the trapezoid rule and sampling every
+///    `sample_stride` steps.
+///
+/// The realization's `seed` field is provenance only — the caller seeds
+/// the simulation itself.
+pub fn run_pull(
+    sim: &mut Simulation,
+    protocol: &PullProtocol,
+    seed: u64,
+) -> Result<PullOutcome, MdError> {
+    protocol.validate();
+    let group = sim.force_field().topology().group("smd")?.to_vec();
+    let masses = sim.system().masses().to_vec();
+
+    // Phase 1: hold the spring static at the current COM.
+    let com0 = {
+        let hold = SmdSpring::new(
+            group.clone(),
+            &masses,
+            protocol.kappa(),
+            0.0,
+            0.0,
+            0.0,
+        );
+        let com = hold.com_z(sim.system().positions());
+        let hold = SmdSpring::new(group.clone(), &masses, protocol.kappa(), 0.0, com, 0.0);
+        sim.set_bias(Some(Box::new(hold)));
+        sim.run(protocol.equilibration_steps, &mut [])?;
+        com
+    };
+    // Re-anchor at the equilibrated COM (the guide starts where the system
+    // actually is, as in NAMD's SMDk restart convention).
+    let _ = com0;
+    let spring = SmdSpring::new(
+        group.clone(),
+        &masses,
+        protocol.kappa(),
+        protocol.velocity(),
+        com0,
+        sim.time_ps(),
+    );
+    let probe = spring.clone();
+    sim.set_bias(Some(Box::new(spring)));
+
+    let t0 = sim.time_ps();
+    let com_start = probe.com_z(sim.system().positions());
+    let dt = sim.dt();
+    let v = protocol.velocity();
+    let mut work = 0.0;
+    let mut prev_force = probe.spring_force(sim.system().positions(), sim.time_ps());
+    let mut samples = Vec::with_capacity((protocol.pull_steps() / protocol.sample_stride) as usize + 2);
+    samples.push(WorkSample {
+        t_ps: 0.0,
+        guide_disp: 0.0,
+        com_disp: 0.0,
+        work: 0.0,
+        force: prev_force,
+    });
+
+    let nsteps = protocol.pull_steps();
+    for step in 1..=nsteps {
+        sim.step_once();
+        let t = sim.time_ps();
+        let force = probe.spring_force(sim.system().positions(), t);
+        // Trapezoid: dW = v · (F_prev + F)/2 · dt.
+        work += v * 0.5 * (prev_force + force) * dt;
+        prev_force = force;
+        if step % protocol.sample_stride == 0 || step == nsteps {
+            samples.push(WorkSample {
+                t_ps: t - t0,
+                guide_disp: v * (t - t0),
+                com_disp: probe.com_z(sim.system().positions()) - com_start,
+                work,
+                force,
+            });
+        }
+        if step % 200 == 0 && !sim.system().is_finite() {
+            return Err(MdError::NumericalBlowup {
+                step: sim.step_count(),
+                what: "non-finite state during pull".into(),
+            });
+        }
+    }
+    sim.set_bias(None);
+
+    Ok(PullOutcome {
+        trajectory: WorkTrajectory {
+            kappa_pn_per_a: protocol.kappa_pn_per_a,
+            v_a_per_ns: protocol.v_a_per_ns,
+            seed,
+            samples,
+        },
+        steps: protocol.equilibration_steps + nsteps,
+    })
+}
+
+/// Run one *reverse* pull: the strand is first translated to the far end
+/// of the sub-trajectory and equilibrated with the spring anchored there,
+/// then pulled back at −v over the same distance. Forward + reverse
+/// ensembles feed the Crooks/BAR estimators
+/// (`spice_jarzynski::crooks`).
+pub fn run_reverse_pull(
+    sim: &mut Simulation,
+    protocol: &PullProtocol,
+    seed: u64,
+) -> Result<PullOutcome, MdError> {
+    protocol.validate();
+    let group = sim.force_field().topology().group("smd")?.to_vec();
+    // Translate the steered group to the far end (the reverse process
+    // must start from equilibrium in the END state).
+    let shift = protocol.pull_distance * protocol.velocity().signum();
+    for &i in &group {
+        sim.system_mut().positions_mut()[i].z += shift;
+    }
+    sim.refresh_forces();
+    // Reverse protocol: same κ, same |v|, opposite direction.
+    let reversed = PullProtocol {
+        v_a_per_ns: -protocol.v_a_per_ns,
+        ..*protocol
+    };
+    run_pull(sim, &reversed, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_md::forces::{ForceField, Restraint};
+    use spice_md::integrate::LangevinBaoab;
+    use spice_md::{System, Topology, Vec3};
+
+    /// One bead in a harmonic well U = a z² — the PMF is known exactly.
+    fn well_sim(seed: u64, a: f64) -> Simulation {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 50.0, 0.0, 0);
+        let mut topo = Topology::new();
+        topo.set_group("smd", vec![0]);
+        let ff = ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), a));
+        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, seed)), 0.02)
+    }
+
+    fn quick_protocol() -> PullProtocol {
+        PullProtocol {
+            kappa_pn_per_a: 200.0,
+            v_a_per_ns: 2000.0, // fast: 2 Å/ps·10⁻³ → short test
+            pull_distance: 4.0,
+            dt_ps: 0.02,
+            equilibration_steps: 200,
+            sample_stride: 10,
+        }
+    }
+
+    #[test]
+    fn pull_produces_well_formed_trajectory() {
+        let mut sim = well_sim(1, 1.0);
+        let out = run_pull(&mut sim, &quick_protocol(), 1).unwrap();
+        let t = &out.trajectory;
+        assert!(t.is_well_formed());
+        assert!((t.guide_span() - 4.0).abs() < 0.1, "span {}", t.guide_span());
+        assert!(t.samples.len() > 10);
+        assert_eq!(t.kappa_pn_per_a, 200.0);
+    }
+
+    #[test]
+    fn com_follows_guide_for_stiff_spring() {
+        let mut sim = well_sim(2, 0.5);
+        let mut proto = quick_protocol();
+        proto.kappa_pn_per_a = 2000.0; // very stiff
+        let out = run_pull(&mut sim, &proto, 2).unwrap();
+        let last = out.trajectory.samples.last().unwrap();
+        assert!(
+            (last.com_disp - last.guide_disp).abs() < 1.0,
+            "stiff spring: com {} vs guide {}",
+            last.com_disp,
+            last.guide_disp
+        );
+    }
+
+    #[test]
+    fn work_roughly_matches_pmf_difference_when_slow() {
+        // Pulling a bead up a harmonic PMF Φ = a z²: mean work ≥ ΔΦ
+        // (second law), and for slow-ish pulls it's within ~2× of ΔΦ.
+        let a = 0.5;
+        let mut works = Vec::new();
+        for seed in 0..8 {
+            let mut sim = well_sim(seed, a);
+            let mut proto = quick_protocol();
+            proto.v_a_per_ns = 500.0;
+            proto.pull_distance = 3.0;
+            let out = run_pull(&mut sim, &proto, seed).unwrap();
+            works.push(out.trajectory.final_work());
+        }
+        let mean_w = spice_stats::mean(&works);
+        let dphi = a * 3.0 * 3.0; // Φ(3) - Φ(0) = 4.5 kcal/mol
+        assert!(
+            mean_w > 0.6 * dphi,
+            "mean work {mean_w} much below ΔΦ {dphi} — work integral broken"
+        );
+        assert!(
+            mean_w < 4.0 * dphi,
+            "mean work {mean_w} absurdly above ΔΦ {dphi}"
+        );
+    }
+
+    #[test]
+    fn dissipation_grows_with_velocity() {
+        // ⟨W⟩ − ΔΦ (dissipated work) must increase with pulling speed —
+        // the systematic-error mechanism of §IV-C.
+        let a = 0.5;
+        let mean_work = |v: f64| {
+            let works: Vec<f64> = (0..6)
+                .map(|seed| {
+                    let mut sim = well_sim(100 + seed, a);
+                    let mut proto = quick_protocol();
+                    proto.v_a_per_ns = v;
+                    proto.pull_distance = 3.0;
+                    run_pull(&mut sim, &proto, seed).unwrap().trajectory.final_work()
+                })
+                .collect();
+            spice_stats::mean(&works)
+        };
+        let w_slow = mean_work(250.0);
+        let w_fast = mean_work(4000.0);
+        assert!(
+            w_fast > w_slow,
+            "dissipation must grow with v: slow {w_slow} vs fast {w_fast}"
+        );
+    }
+
+    #[test]
+    fn missing_smd_group_is_an_error() {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+        let ff = ForceField::new(Topology::new());
+        let mut sim = Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 1.0, 0)),
+            0.01,
+        );
+        assert!(run_pull(&mut sim, &quick_protocol(), 0).is_err());
+    }
+
+    #[test]
+    fn reverse_pull_starts_displaced_and_returns() {
+        let mut sim = well_sim(9, 0.5);
+        let proto = quick_protocol();
+        let out = run_reverse_pull(&mut sim, &proto, 9).unwrap();
+        let t = &out.trajectory;
+        assert!(t.is_well_formed());
+        // Reverse trajectory moves in −z: guide displacement negative.
+        assert!(t.guide_span() < 0.0, "span {}", t.guide_span());
+        assert!((t.guide_span() + proto.pull_distance).abs() < 0.1);
+    }
+
+    #[test]
+    fn forward_reverse_work_bracket_delta_f() {
+        // Second law from both sides: ⟨W_F⟩ ≥ ΔΦ ≥ −⟨W_R⟩ for the
+        // harmonic well (ΔΦ = a·d²).
+        let a = 0.5;
+        let proto = PullProtocol {
+            v_a_per_ns: 500.0,
+            pull_distance: 3.0,
+            ..quick_protocol()
+        };
+        let dphi = a * 9.0;
+        let mut fwd = Vec::new();
+        let mut rev = Vec::new();
+        for seed in 0..8 {
+            let mut s1 = well_sim(200 + seed, a);
+            fwd.push(run_pull(&mut s1, &proto, seed).unwrap().trajectory.final_work());
+            let mut s2 = well_sim(300 + seed, a);
+            rev.push(
+                run_reverse_pull(&mut s2, &proto, seed)
+                    .unwrap()
+                    .trajectory
+                    .final_work(),
+            );
+        }
+        let wf = spice_stats::mean(&fwd);
+        let wr = spice_stats::mean(&rev);
+        assert!(wf > dphi - 1.5, "⟨W_F⟩ = {wf} should be ≳ ΔΦ = {dphi}");
+        assert!(-wr < dphi + 1.5, "−⟨W_R⟩ = {} should be ≲ ΔΦ = {dphi}", -wr);
+        assert!(wf + wr > -0.5, "total hysteresis must be ≥ 0: {}", wf + wr);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = well_sim(seed, 1.0);
+            run_pull(&mut sim, &quick_protocol(), seed)
+                .unwrap()
+                .trajectory
+                .final_work()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,244 @@
+//! Work trajectories and sub-trajectory segmentation.
+//!
+//! The external work of the moving guide is `W(t) = ∫₀ᵗ v F_spring dt'`,
+//! with `F_spring = κ (z_guide − z_com)` — the thermodynamic work that
+//! enters Jarzynski's equality. Each realization yields one monotone
+//! series of [`WorkSample`]s along the guide coordinate.
+
+use serde::{Deserialize, Serialize};
+
+/// One sample along a pulling realization.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct WorkSample {
+    /// Time since the pull began (ps).
+    pub t_ps: f64,
+    /// Guide displacement since the pull began (Å) — the JE reaction
+    /// coordinate λ.
+    pub guide_disp: f64,
+    /// COM displacement of the SMD atoms since the pull began (Å) — the
+    /// x-axis of Fig. 4.
+    pub com_disp: f64,
+    /// Accumulated external work (kcal/mol).
+    pub work: f64,
+    /// Instantaneous spring force (kcal mol⁻¹ Å⁻¹).
+    pub force: f64,
+}
+
+/// A complete pulling realization.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct WorkTrajectory {
+    /// Spring constant used (pN/Å, paper units).
+    pub kappa_pn_per_a: f64,
+    /// Pulling velocity used (Å/ns, paper units).
+    pub v_a_per_ns: f64,
+    /// RNG seed of the realization (provenance).
+    pub seed: u64,
+    /// Samples ordered by time.
+    pub samples: Vec<WorkSample>,
+}
+
+impl WorkTrajectory {
+    /// Final accumulated work (kcal/mol); `NaN` when empty.
+    pub fn final_work(&self) -> f64 {
+        self.samples.last().map_or(f64::NAN, |s| s.work)
+    }
+
+    /// Total guide displacement covered (Å); 0 when empty.
+    pub fn guide_span(&self) -> f64 {
+        self.samples.last().map_or(0.0, |s| s.guide_disp)
+    }
+
+    /// Work interpolated at guide displacement `s` (linear between
+    /// samples). `None` outside the sampled range.
+    pub fn work_at(&self, s: f64) -> Option<f64> {
+        interpolate(&self.samples, s, |w| w.work)
+    }
+
+    /// COM displacement interpolated at guide displacement `s`.
+    pub fn com_at(&self, s: f64) -> Option<f64> {
+        interpolate(&self.samples, s, |w| w.com_disp)
+    }
+
+    /// Basic integrity checks: time and guide displacement must be
+    /// monotone non-decreasing.
+    pub fn is_well_formed(&self) -> bool {
+        self.samples.windows(2).all(|w| {
+            w[1].t_ps >= w[0].t_ps && (w[1].guide_disp - w[0].guide_disp) * self.v_a_per_ns.signum() >= -1e-12
+        })
+    }
+}
+
+fn interpolate(
+    samples: &[WorkSample],
+    s: f64,
+    f: impl Fn(&WorkSample) -> f64,
+) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    // Handle descending (negative-velocity) trajectories by flipping the
+    // coordinate so it is ascending; the query flips with it, so an
+    // out-of-range query stays out of range.
+    let sign = if samples.last().unwrap().guide_disp >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    };
+    let key = |w: &WorkSample| w.guide_disp * sign;
+    let target = s * sign;
+    if target < key(&samples[0]) - 1e-9 || target > key(samples.last().unwrap()) + 1e-9 {
+        return None;
+    }
+    let mut prev = &samples[0];
+    for cur in &samples[1..] {
+        if key(cur) >= target {
+            let span = key(cur) - key(prev);
+            if span <= 0.0 {
+                return Some(f(cur));
+            }
+            let w = (target - key(prev)) / span;
+            return Some(f(prev) * (1.0 - w) + f(cur) * w);
+        }
+        prev = cur;
+    }
+    Some(f(samples.last().unwrap()))
+}
+
+/// Split a long trajectory into sub-trajectories of guide length
+/// `segment_len` (§IV-A): work is re-zeroed at each segment start, so each
+/// segment is an independent JE data set over its own 0..segment_len
+/// coordinate.
+///
+/// Segments shorter than `segment_len` at the tail are dropped (the paper
+/// uses complete sub-trajectories only).
+pub fn segment_trajectory(traj: &WorkTrajectory, segment_len: f64) -> Vec<WorkTrajectory> {
+    assert!(segment_len > 0.0, "segment length must be positive");
+    let mut out = Vec::new();
+    if traj.samples.is_empty() {
+        return out;
+    }
+    let total = traj.guide_span().abs();
+    let nseg = (total / segment_len).floor() as usize;
+    for seg in 0..nseg {
+        let lo = seg as f64 * segment_len;
+        let hi = lo + segment_len;
+        let (mut w0, mut c0, mut t0) = (None, None, None);
+        let mut samples = Vec::new();
+        for s in &traj.samples {
+            let d = s.guide_disp.abs();
+            if d + 1e-9 < lo || d > hi + 1e-9 {
+                continue;
+            }
+            if w0.is_none() {
+                w0 = Some(s.work);
+                c0 = Some(s.com_disp);
+                t0 = Some(s.t_ps);
+            }
+            samples.push(WorkSample {
+                t_ps: s.t_ps - t0.unwrap(),
+                guide_disp: s.guide_disp - lo * traj.v_a_per_ns.signum(),
+                com_disp: s.com_disp - c0.unwrap(),
+                work: s.work - w0.unwrap(),
+                force: s.force,
+            });
+        }
+        if samples.len() >= 2 {
+            out.push(WorkTrajectory {
+                kappa_pn_per_a: traj.kappa_pn_per_a,
+                v_a_per_ns: traj.v_a_per_ns,
+                seed: traj.seed,
+                samples,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_traj(n: usize, slope: f64) -> WorkTrajectory {
+        WorkTrajectory {
+            kappa_pn_per_a: 100.0,
+            v_a_per_ns: 12.5,
+            seed: 0,
+            samples: (0..=n)
+                .map(|i| {
+                    let s = i as f64 * 0.1;
+                    WorkSample {
+                        t_ps: s / 0.0125,
+                        guide_disp: s,
+                        com_disp: s * 0.9,
+                        work: slope * s,
+                        force: slope,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn final_work_and_span() {
+        let t = linear_traj(100, 2.0);
+        assert!((t.final_work() - 20.0).abs() < 1e-9);
+        assert!((t.guide_span() - 10.0).abs() < 1e-9);
+        assert!(t.is_well_formed());
+    }
+
+    #[test]
+    fn interpolation_between_samples() {
+        let t = linear_traj(100, 2.0);
+        assert!((t.work_at(5.05).unwrap() - 10.1).abs() < 1e-9);
+        assert!((t.com_at(5.0).unwrap() - 4.5).abs() < 1e-9);
+        assert!(t.work_at(10.5).is_none());
+        assert!(t.work_at(-0.5).is_none());
+    }
+
+    #[test]
+    fn empty_trajectory_degenerates() {
+        let t = WorkTrajectory {
+            kappa_pn_per_a: 1.0,
+            v_a_per_ns: 1.0,
+            seed: 0,
+            samples: vec![],
+        };
+        assert!(t.final_work().is_nan());
+        assert_eq!(t.guide_span(), 0.0);
+        assert!(t.work_at(0.0).is_none());
+        assert!(segment_trajectory(&t, 1.0).is_empty());
+    }
+
+    #[test]
+    fn segmentation_rezeroes_work() {
+        let t = linear_traj(100, 3.0); // spans 10 Å
+        let segs = segment_trajectory(&t, 2.5);
+        assert_eq!(segs.len(), 4);
+        for seg in &segs {
+            assert!(seg.samples[0].work.abs() < 1e-9, "work must restart at 0");
+            assert!(seg.samples[0].guide_disp.abs() < 1e-9);
+            assert!(
+                (seg.final_work() - 3.0 * 2.5).abs() < 1e-6,
+                "each linear segment accumulates slope × length"
+            );
+            assert!(seg.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn segmentation_drops_incomplete_tail() {
+        let t = linear_traj(93, 1.0); // spans 9.3 Å
+        let segs = segment_trajectory(&t, 2.5);
+        assert_eq!(segs.len(), 3, "9.3/2.5 → 3 complete segments");
+    }
+
+    #[test]
+    fn work_additivity_across_segments() {
+        // Sum of segment works == total work difference over same span.
+        let t = linear_traj(100, 1.7);
+        let segs = segment_trajectory(&t, 2.0);
+        let sum: f64 = segs.iter().map(|s| s.final_work()).sum();
+        let direct = t.work_at(10.0).unwrap() - t.work_at(0.0).unwrap();
+        assert!((sum - direct).abs() < 1e-6, "{sum} vs {direct}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Ordinary least squares on (x, y) pairs.
+//!
+//! Used to extract trends from experiment sweeps (e.g. slowdown vs latency
+//! in T-imd, error growth vs sub-trajectory length in T-subtraj).
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fit `y = slope·x + intercept` by least squares.
+    ///
+    /// Returns `None` for fewer than two points or zero x-variance.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        let n = xs.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mx = xs.iter().sum::<f64>() / nf;
+        let my = ys.iter().sum::<f64>() / nf;
+        let sxx: f64 = xs.iter().map(|&x| (x - mx) * (x - mx)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let syy: f64 = ys.iter().map(|&y| (y - my) * (y - my)).sum();
+        let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+            n,
+        })
+    }
+
+    /// Predicted y at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x - 7.0).collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 7.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_close() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + 1.0 + 0.01 * ((i * 37 % 11) as f64 - 5.0))
+            .collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(LinearFit::fit(&[1.0], &[2.0]).is_none());
+        assert!(LinearFit::fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn flat_line_r2_is_one() {
+        let f = LinearFit::fit(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+        assert_eq!(f.predict(10.0), 5.0);
+    }
+}

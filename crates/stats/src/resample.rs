@@ -1,0 +1,191 @@
+//! Bootstrap and jackknife resampling.
+//!
+//! Fig. 4's statistical error bars (σ_stat) are estimated by bootstrap over
+//! the finite set of SMD work realizations; the Jarzynski estimator is a
+//! *nonlinear* function of the sample (log of an exponential mean), so a
+//! plain standard error of the mean would be wrong. Bootstrap and jackknife
+//! handle arbitrary statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bootstrap resampler over a fixed sample.
+///
+/// Generic over the statistic: pass any `Fn(&[f64]) -> f64` (mean, a
+/// Jarzynski estimate, a quantile…).
+pub struct Bootstrap<'a> {
+    data: &'a [f64],
+    resamples: usize,
+    rng: StdRng,
+}
+
+impl<'a> Bootstrap<'a> {
+    /// Create a resampler drawing `resamples` bootstrap replicates,
+    /// deterministic under `seed`.
+    pub fn new(data: &'a [f64], resamples: usize, seed: u64) -> Self {
+        Bootstrap {
+            data,
+            resamples,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Distribution of the statistic over bootstrap replicates.
+    pub fn replicates<F: Fn(&[f64]) -> f64>(&mut self, stat: F) -> Vec<f64> {
+        let n = self.data.len();
+        let mut buf = vec![0.0; n];
+        let mut out = Vec::with_capacity(self.resamples);
+        for _ in 0..self.resamples {
+            for slot in buf.iter_mut() {
+                *slot = self.data[self.rng.gen_range(0..n)];
+            }
+            out.push(stat(&buf));
+        }
+        out
+    }
+
+    /// Bootstrap estimate of the statistic's standard error.
+    pub fn std_error<F: Fn(&[f64]) -> f64>(&mut self, stat: F) -> f64 {
+        let reps = self.replicates(stat);
+        crate::descriptive::std_dev(&reps)
+    }
+
+    /// Percentile confidence interval `(lo, hi)` at the given level
+    /// (e.g. 0.95 → 2.5th and 97.5th percentiles of the replicates).
+    pub fn confidence_interval<F: Fn(&[f64]) -> f64>(
+        &mut self,
+        stat: F,
+        level: f64,
+    ) -> (f64, f64) {
+        let reps = self.replicates(stat);
+        let alpha = (1.0 - level) / 2.0;
+        (
+            crate::descriptive::quantile(&reps, alpha),
+            crate::descriptive::quantile(&reps, 1.0 - alpha),
+        )
+    }
+}
+
+/// Bootstrap standard error of the *mean* — convenience wrapper.
+///
+/// Returns `(mean, bootstrap standard error)`.
+pub fn bootstrap_mean_std(data: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    let m = crate::descriptive::mean(data);
+    let se = Bootstrap::new(data, resamples, seed).std_error(crate::descriptive::mean);
+    (m, se)
+}
+
+/// Jackknife (leave-one-out) estimate of a statistic's bias-corrected value
+/// and standard error.
+///
+/// Returns `(bias-corrected estimate, standard error)`. Needs at least two
+/// samples; returns `(stat(data), NaN)` otherwise.
+pub fn jackknife<F: Fn(&[f64]) -> f64>(data: &[f64], stat: F) -> (f64, f64) {
+    let n = data.len();
+    let full = stat(data);
+    if n < 2 {
+        return (full, f64::NAN);
+    }
+    let mut buf = Vec::with_capacity(n - 1);
+    let mut loo = Vec::with_capacity(n);
+    for i in 0..n {
+        buf.clear();
+        buf.extend_from_slice(&data[..i]);
+        buf.extend_from_slice(&data[i + 1..]);
+        loo.push(stat(&buf));
+    }
+    let loo_mean = crate::descriptive::mean(&loo);
+    let bias_corrected = n as f64 * full - (n - 1) as f64 * loo_mean;
+    let var = loo
+        .iter()
+        .map(|&x| (x - loo_mean) * (x - loo_mean))
+        .sum::<f64>()
+        * (n - 1) as f64
+        / n as f64;
+    (bias_corrected, var.sqrt())
+}
+
+/// Jackknife mean and standard error — convenience wrapper.
+pub fn jackknife_mean_std(data: &[f64]) -> (f64, f64) {
+    jackknife(data, crate::descriptive::mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, std_error};
+
+    fn sample() -> Vec<f64> {
+        (0..200).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 100.0).collect()
+    }
+
+    #[test]
+    fn bootstrap_se_close_to_analytic_se_of_mean() {
+        let xs = sample();
+        let (_, se_boot) = bootstrap_mean_std(&xs, 2000, 42);
+        let se_exact = std_error(&xs);
+        assert!(
+            (se_boot - se_exact).abs() / se_exact < 0.15,
+            "bootstrap {se_boot} vs analytic {se_exact}"
+        );
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_under_seed() {
+        let xs = sample();
+        let a = Bootstrap::new(&xs, 100, 7).replicates(mean);
+        let b = Bootstrap::new(&xs, 100, 7).replicates(mean);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_different_seeds_differ() {
+        let xs = sample();
+        let a = Bootstrap::new(&xs, 100, 7).replicates(mean);
+        let b = Bootstrap::new(&xs, 100, 8).replicates(mean);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let xs = sample();
+        let m = mean(&xs);
+        let (lo, hi) = Bootstrap::new(&xs, 1000, 1).confidence_interval(mean, 0.95);
+        assert!(lo < m && m < hi, "CI [{lo}, {hi}] should bracket {m}");
+    }
+
+    #[test]
+    fn jackknife_mean_is_unbiased() {
+        // The mean is a linear statistic: jackknife bias correction is exact
+        // and the estimate equals the plain mean.
+        let xs = sample();
+        let (est, se) = jackknife_mean_std(&xs);
+        assert!((est - mean(&xs)).abs() < 1e-10);
+        assert!((se - std_error(&xs)).abs() / std_error(&xs) < 1e-10);
+    }
+
+    #[test]
+    fn jackknife_single_sample() {
+        let (est, se) = jackknife_mean_std(&[5.0]);
+        assert_eq!(est, 5.0);
+        assert!(se.is_nan());
+    }
+
+    #[test]
+    fn jackknife_corrects_nonlinear_bias() {
+        // stat = (mean)^2 has bias +var/n; jackknife should shrink it.
+        let xs = sample();
+        let stat = |d: &[f64]| mean(d) * mean(d);
+        let n = xs.len() as f64;
+        let biased = stat(&xs);
+        let truth_bias = crate::descriptive::variance(&xs) / n;
+        let (corrected, _) = jackknife(&xs, stat);
+        // The corrected estimate should move by approximately -bias.
+        assert!(
+            (biased - corrected - truth_bias).abs() < truth_bias * 0.2,
+            "correction {} vs expected bias {}",
+            biased - corrected,
+            truth_bias
+        );
+    }
+}

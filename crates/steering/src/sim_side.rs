@@ -1,0 +1,311 @@
+//! The sim-side steering library: a [`StepHook`] attached to the MD
+//! driver's emit points.
+//!
+//! This mirrors how the paper grid-enables NAMD: "interfacing the
+//! application codes to suitable grid middleware through well defined
+//! user-level APIs (…) complex parallel code can be grid-enabled without
+//! changing the programming model and with minimal changes to the code"
+//! (§V-B). The MD engine knows only that a hook runs every few steps; all
+//! grid behaviour lives here.
+
+use crate::message::{ControlMessage, Frame};
+use crate::service::{ComponentId, ComponentKind, SharedService};
+use spice_md::checkpoint::Snapshot;
+use spice_md::{units, HookAction, HookContext, StepHook};
+use std::collections::HashMap;
+
+/// Steering hook state.
+pub struct SteeringHook {
+    service: SharedService,
+    id: ComponentId,
+    emit_stride: u64,
+    /// Atom group whose COM z is published (the steered DNA).
+    steered_group: Vec<usize>,
+    paused: bool,
+    stopped: bool,
+    detail_next: bool,
+    params: HashMap<String, f64>,
+    frames_emitted: u64,
+    forces_applied: u64,
+    /// Give up on a pause after this many polls (None = wait forever).
+    /// Tests drive pause/resume from another thread; production uses None.
+    pub pause_poll_limit: Option<u64>,
+}
+
+impl SteeringHook {
+    /// Register a simulation component on `service` and build its hook.
+    /// Frames are emitted every `emit_stride` steps.
+    pub fn attach(service: SharedService, emit_stride: u64, steered_group: Vec<usize>) -> Self {
+        assert!(emit_stride > 0, "emit stride must be positive");
+        let id = service.lock().register(ComponentKind::Simulation);
+        SteeringHook {
+            service,
+            id,
+            emit_stride,
+            steered_group,
+            paused: false,
+            stopped: false,
+            detail_next: false,
+            params: HashMap::new(),
+            frames_emitted: 0,
+            forces_applied: 0,
+            pause_poll_limit: None,
+        }
+    }
+
+    /// This simulation's component id (steering clients address it).
+    pub fn component_id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Steerable parameters set so far (name → value).
+    pub fn params(&self) -> &HashMap<String, f64> {
+        &self.params
+    }
+
+    /// Frames published so far.
+    pub fn frames_emitted(&self) -> u64 {
+        self.frames_emitted
+    }
+
+    /// IMD forces applied so far.
+    pub fn forces_applied(&self) -> u64 {
+        self.forces_applied
+    }
+
+    /// True once a Stop was processed.
+    pub fn stopped(&self) -> bool {
+        self.stopped
+    }
+
+    fn handle(&mut self, msg: ControlMessage, ctx: &mut HookContext<'_>) {
+        match msg {
+            ControlMessage::Pause => self.paused = true,
+            ControlMessage::Resume => self.paused = false,
+            ControlMessage::Stop => self.stopped = true,
+            ControlMessage::SetParam { name, value } => {
+                self.params.insert(name, value);
+            }
+            ControlMessage::Checkpoint { label } => {
+                let snap = Snapshot {
+                    step: ctx.step,
+                    time_ps: ctx.time_ps,
+                    system: ctx.system.clone(),
+                    label: label.clone(),
+                };
+                self.service.lock().store_checkpoint(label, snap);
+            }
+            ControlMessage::ApplyForce { atoms, force } => {
+                // IMD forces arrive at emit points; apply the equivalent
+                // impulse for one emit interval: Δv = F/m · Δt · ACCEL.
+                let dt_interval = self.emit_stride as f64
+                    * if ctx.step > 0 {
+                        ctx.time_ps / ctx.step as f64
+                    } else {
+                        0.0
+                    };
+                for &i in &atoms {
+                    if i < ctx.system.len() {
+                        let inv_m = ctx.system.inv_masses()[i];
+                        ctx.system.velocities_mut()[i] +=
+                            force * (inv_m * dt_interval * units::ACCEL);
+                    }
+                }
+                self.forces_applied += 1;
+            }
+            ControlMessage::RequestFrame => self.detail_next = true,
+        }
+    }
+
+    fn emit_frame(&mut self, ctx: &HookContext<'_>) {
+        let com_z = if self.steered_group.is_empty() {
+            None
+        } else {
+            Some(
+                ctx.system
+                    .center_of_mass_of(self.steered_group.iter().copied())
+                    .z,
+            )
+        };
+        let frame = Frame {
+            step: ctx.step,
+            time_ps: ctx.time_ps,
+            temperature: ctx.system.temperature(),
+            potential: ctx.energies.total(),
+            steered_com_z: com_z,
+            positions: if self.detail_next {
+                Some(ctx.system.positions().to_vec())
+            } else {
+                None
+            },
+        };
+        self.detail_next = false;
+        self.service.lock().publish_frame(&frame);
+        self.frames_emitted += 1;
+    }
+}
+
+impl StepHook for SteeringHook {
+    fn on_step(&mut self, ctx: &mut HookContext<'_>) -> HookAction {
+        if !ctx.step.is_multiple_of(self.emit_stride) {
+            return HookAction::Continue;
+        }
+        // Emit point: drain control, publish, honour pause.
+        let msgs = self.service.lock().poll_control(self.id);
+        for m in msgs {
+            self.handle(m, ctx);
+        }
+        self.emit_frame(ctx);
+        let mut polls = 0u64;
+        while self.paused && !self.stopped {
+            let msgs = self.service.lock().poll_control(self.id);
+            for m in msgs {
+                self.handle(m, ctx);
+            }
+            polls += 1;
+            if let Some(limit) = self.pause_poll_limit {
+                if polls >= limit {
+                    self.paused = false;
+                    break;
+                }
+            }
+            std::thread::yield_now();
+        }
+        if self.stopped {
+            HookAction::Stop
+        } else {
+            HookAction::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::GridService;
+    use spice_md::forces::{ForceField, Restraint};
+    use spice_md::integrate::LangevinBaoab;
+    use spice_md::{Simulation, System, Topology, Vec3};
+
+    fn make_sim(seed: u64) -> Simulation {
+        let mut sys = System::new();
+        for i in 0..3 {
+            sys.add_particle(Vec3::new(i as f64, 0.0, 0.0), 10.0, 0.0, 0);
+        }
+        let mut ff = ForceField::new(Topology::new());
+        for i in 0..3 {
+            ff = ff.with_restraint(Restraint::harmonic(i, Vec3::new(i as f64, 0.0, 0.0), 1.0));
+        }
+        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+    }
+
+    #[test]
+    fn frames_emitted_at_stride() {
+        let service = GridService::shared();
+        let vis = service.lock().register(ComponentKind::Visualizer);
+        let mut hook = SteeringHook::attach(service.clone(), 10, vec![0, 1]);
+        let mut sim = make_sim(1);
+        sim.run(100, &mut [&mut hook]).unwrap();
+        assert_eq!(hook.frames_emitted(), 10);
+        let mut got = 0;
+        while service.lock().next_frame(vis).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 10);
+    }
+
+    #[test]
+    fn stop_message_halts_run() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![]);
+        service.lock().send_control(hook.component_id(), ControlMessage::Stop);
+        let mut sim = make_sim(2);
+        let done = sim.run(100, &mut [&mut hook]).unwrap();
+        assert_eq!(done, 5, "stopped at the first emit point");
+        assert!(hook.stopped());
+    }
+
+    #[test]
+    fn set_param_recorded() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![]);
+        service.lock().send_control(
+            hook.component_id(),
+            ControlMessage::SetParam {
+                name: "kappa".into(),
+                value: 1.44,
+            },
+        );
+        let mut sim = make_sim(3);
+        sim.run(10, &mut [&mut hook]).unwrap();
+        assert_eq!(hook.params().get("kappa"), Some(&1.44));
+    }
+
+    #[test]
+    fn checkpoint_message_stores_snapshot() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![]);
+        service.lock().send_control(
+            hook.component_id(),
+            ControlMessage::Checkpoint {
+                label: "probe".into(),
+            },
+        );
+        let mut sim = make_sim(4);
+        sim.run(10, &mut [&mut hook]).unwrap();
+        let snap = service.lock().checkpoint("probe").cloned().unwrap();
+        assert_eq!(snap.step, 5, "captured at the emit point");
+        assert_eq!(snap.system.len(), 3);
+    }
+
+    #[test]
+    fn imd_force_changes_momentum() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![0]);
+        service.lock().send_control(
+            hook.component_id(),
+            ControlMessage::ApplyForce {
+                atoms: vec![0],
+                force: Vec3::new(0.0, 0.0, 50.0),
+            },
+        );
+        let mut with_force = make_sim(5);
+        with_force.run(10, &mut [&mut hook]).unwrap();
+        let mut without = make_sim(5);
+        without.run(10, &mut []).unwrap();
+        assert_eq!(hook.forces_applied(), 1);
+        assert!(
+            with_force.system().positions()[0].z > without.system().positions()[0].z,
+            "upward IMD force must displace atom 0"
+        );
+    }
+
+    #[test]
+    fn pause_with_poll_limit_resumes() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![]);
+        hook.pause_poll_limit = Some(3);
+        service.lock().send_control(hook.component_id(), ControlMessage::Pause);
+        let mut sim = make_sim(6);
+        let done = sim.run(20, &mut [&mut hook]).unwrap();
+        assert_eq!(done, 20, "poll-limited pause must not hang the run");
+    }
+
+    #[test]
+    fn pause_resume_across_threads() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![]);
+        let sim_id = hook.component_id();
+        service.lock().send_control(sim_id, ControlMessage::Pause);
+        // The "scientist" resumes from another thread shortly after.
+        let svc = service.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            svc.lock().send_control(sim_id, ControlMessage::Resume);
+        });
+        let mut sim = make_sim(7);
+        let done = sim.run(20, &mut [&mut hook]).unwrap();
+        t.join().unwrap();
+        assert_eq!(done, 20, "run completes after remote resume");
+    }
+}

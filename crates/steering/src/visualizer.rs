@@ -1,0 +1,155 @@
+//! The visualization engine as a steerer (§II).
+//!
+//! "Interactive simulations use a visualizer as a steerer, e.g., to apply
+//! a force to a subset of atoms" — Fig. 2a's dotted direct channel from
+//! the visualizer back to the simulation.
+
+use crate::haptic::HapticDevice;
+use crate::message::{ControlMessage, Frame};
+use crate::service::{ComponentId, ComponentKind, SharedService};
+use spice_md::Vec3;
+
+/// A visualizer component: consumes frames, renders, and (optionally via
+/// a haptic device) sends steering forces directly to the simulation.
+pub struct Visualizer {
+    service: SharedService,
+    id: ComponentId,
+    sim: ComponentId,
+    frames_rendered: u64,
+    /// Attached haptic device, if any.
+    pub haptic: Option<HapticDevice>,
+}
+
+impl Visualizer {
+    /// Register a visualizer on `service`, coupled to simulation `sim`.
+    pub fn attach(service: SharedService, sim: ComponentId) -> Self {
+        let id = service.lock().register(ComponentKind::Visualizer);
+        Visualizer {
+            service,
+            id,
+            sim,
+            frames_rendered: 0,
+            haptic: None,
+        }
+    }
+
+    /// Attach a haptic device.
+    pub fn with_haptic(mut self, device: HapticDevice) -> Self {
+        self.haptic = Some(device);
+        self
+    }
+
+    /// This visualizer's component id.
+    pub fn component_id(&self) -> ComponentId {
+        self.id
+    }
+
+    /// Frames rendered so far.
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    /// Consume the next pending frame, if any ("rendering" = counting +
+    /// returning it for inspection).
+    pub fn render_next(&mut self) -> Option<Frame> {
+        let f = self.service.lock().next_frame(self.id);
+        if f.is_some() {
+            self.frames_rendered += 1;
+        }
+        f
+    }
+
+    /// The visualizer-as-steerer loop body: render the latest frame and,
+    /// if a haptic device is attached, send the device force on `atoms`
+    /// toward `hand_z` through the *direct* channel. Returns the rendered
+    /// frame.
+    pub fn steer_with_haptic(&mut self, atoms: &[usize], hand_z: f64) -> Option<Frame> {
+        let frame = self.render_next()?;
+        if let (Some(device), Some(com_z)) = (self.haptic.as_mut(), frame.steered_com_z) {
+            let force = device.render(hand_z, com_z);
+            self.service.lock().send_control(
+                self.sim,
+                ControlMessage::ApplyForce {
+                    atoms: atoms.to_vec(),
+                    force,
+                },
+            );
+        }
+        Some(frame)
+    }
+
+    /// Plain (non-haptic) steering: nudge `atoms` with `force` directly.
+    pub fn steer(&self, atoms: Vec<usize>, force: Vec3) {
+        self.service
+            .lock()
+            .send_control(self.sim, ControlMessage::ApplyForce { atoms, force });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::GridService;
+    use crate::sim_side::SteeringHook;
+    use spice_md::forces::{ForceField, Restraint};
+    use spice_md::integrate::LangevinBaoab;
+    use spice_md::{Simulation, System, Topology};
+
+    fn make_sim(seed: u64) -> Simulation {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 10.0, 0.0, 0);
+        let ff = ForceField::new(Topology::new())
+            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 0.5));
+        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+    }
+
+    #[test]
+    fn renders_published_frames() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![0]);
+        let mut vis = Visualizer::attach(service.clone(), hook.component_id());
+        let mut sim = make_sim(1);
+        sim.run(20, &mut [&mut hook]).unwrap();
+        let mut count = 0;
+        while vis.render_next().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4);
+        assert_eq!(vis.frames_rendered(), 4);
+    }
+
+    #[test]
+    fn haptic_steering_closed_loop_pulls_atom() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![0]);
+        let mut vis = Visualizer::attach(service.clone(), hook.component_id())
+            .with_haptic(HapticDevice::phantom());
+        let mut sim = make_sim(2);
+        // Closed loop: run a burst, render, steer upward, repeat — the
+        // scientist dragging the strand with the stylus. The restrained
+        // atom oscillates, so judge by the peak excursion.
+        let mut max_z = f64::NEG_INFINITY;
+        for _ in 0..20 {
+            sim.run(5, &mut [&mut hook]).unwrap();
+            while vis.steer_with_haptic(&[0], 5.0).is_some() {}
+            max_z = max_z.max(sim.system().positions()[0].z);
+        }
+        assert!(
+            max_z > 0.5,
+            "haptic dragging must displace the atom upward: peak z = {max_z}"
+        );
+        let device = vis.haptic.as_ref().unwrap();
+        assert!(device.max_observed_force_pn() > 0.0);
+    }
+
+    #[test]
+    fn direct_steering_without_haptic() {
+        let service = GridService::shared();
+        let mut hook = SteeringHook::attach(service.clone(), 5, vec![0]);
+        let vis = Visualizer::attach(service.clone(), hook.component_id());
+        vis.steer(vec![0], Vec3::new(0.0, 0.0, 30.0));
+        let mut sim = make_sim(3);
+        sim.run(10, &mut [&mut hook]).unwrap();
+        assert_eq!(hook.forces_applied(), 1);
+    }
+}

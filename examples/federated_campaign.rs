@@ -1,0 +1,52 @@
+//! The production batch phase on the federated US–UK grid (§III, Fig. 5):
+//! 72 simulations, ≈75,000 CPU-hours — under a week on the federation,
+//! much longer on any single site; plus the §V-C-4 security-breach
+//! scenario and the §V-C-3 reservation workflow.
+//!
+//! ```sh
+//! cargo run --release --example federated_campaign
+//! ```
+
+use spice::core::experiments::{campaign, reservations};
+use spice::gridsim::campaign::Campaign;
+use spice::gridsim::federation::Federation;
+use spice::gridsim::trace::gantt;
+
+fn main() {
+    println!("{}", campaign::run(20050512).render());
+    println!("{}", reservations::run(20050512).render());
+
+    // The at-a-glance view: who ran what, when.
+    let c = Campaign::paper_batch_phase(20050512);
+    let r = c.run();
+    println!("== campaign Gantt (jobs running per site over time) ==");
+    println!("{}", gantt(&r, &c.federation, 72));
+
+    // How much does each additional site buy? (the "availability of
+    // computational resources is the only constraint" picture of §VI)
+    println!("== makespan vs federation size ==");
+    let fed = Federation::paper_us_uk();
+    let site_sets: Vec<Vec<u32>> = vec![
+        vec![0],
+        vec![0, 1],
+        vec![0, 1, 2],
+        vec![0, 1, 2, 3],
+        vec![0, 1, 2, 3, 4],
+        vec![0, 1, 2, 3, 4, 5],
+    ];
+    for keep in site_sets {
+        let mut c = Campaign::paper_batch_phase(7);
+        c.federation = fed.restricted(&keep);
+        let r = c.run();
+        let names: Vec<&str> = keep
+            .iter()
+            .map(|&id| fed.site(id).name.as_str())
+            .collect();
+        println!(
+            "  {:<44} {:>6.1} days ({:>5.0} CPU-h wasted waiting)",
+            names.join("+"),
+            r.makespan_days(),
+            r.records.iter().map(|j| j.wait() * j.procs as f64).sum::<f64>()
+        );
+    }
+}

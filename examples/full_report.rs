@@ -1,0 +1,22 @@
+//! Regenerate every paper artifact in one run — the EXPERIMENTS.md
+//! record.
+//!
+//! ```sh
+//! cargo run --release --example full_report            # Test scale
+//! cargo run --release --example full_report -- bench   # Bench scale
+//! ```
+
+use spice::core::config::Scale;
+use spice::core::experiments;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("bench") => Scale::Bench,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Test,
+    };
+    eprintln!("regenerating all 12 experiments at {scale:?} scale …");
+    for report in experiments::run_all(scale, 20050512) {
+        println!("{}", report.render());
+    }
+}

@@ -1,0 +1,21 @@
+//! Fig. 4 reproduction: the full (κ, v) sweep with statistical/systematic
+//! error analysis and optimal-parameter selection (§IV).
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep            # Test scale
+//! cargo run --release --example parameter_sweep -- bench   # Bench scale
+//! ```
+
+use spice::core::config::Scale;
+use spice::core::experiments::fig4_pmf;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("bench") => Scale::Bench,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Test,
+    };
+    eprintln!("running the Fig. 4 sweep at {scale:?} scale (12 cells + reference) …");
+    let report = fig4_pmf::run(scale, 20050512);
+    println!("{}", report.render());
+}

@@ -1,0 +1,14 @@
+//! Fig. 1 + Fig. 3: the built system and the translocation stretching
+//! analysis — the strand stretches where the pore is narrowest.
+//!
+//! ```sh
+//! cargo run --release --example translocation
+//! ```
+
+use spice::core::config::Scale;
+use spice::core::experiments::{fig1_system, fig3_translocation};
+
+fn main() {
+    println!("{}", fig1_system::run(Scale::Test, 20050512).render());
+    println!("{}", fig3_translocation::run(Scale::Test, 20050512).render());
+}

@@ -1,0 +1,24 @@
+//! # spice
+//!
+//! Umbrella crate for the SPICE reproduction (SC 2005): re-exports every
+//! sub-crate under one namespace so examples and downstream users can
+//! depend on a single crate.
+//!
+//! * [`stats`] — statistical foundations (bootstrap, log-sum-exp, …).
+//! * [`md`] — classical molecular-dynamics engine.
+//! * [`pore`] — α-hemolysin pore + membrane + ssDNA model.
+//! * [`smd`] — steered molecular dynamics (pulling protocols, work).
+//! * [`jarzynski`] — Jarzynski free-energy estimation and error analysis.
+//! * [`gridsim`] — discrete-event federated-grid simulator.
+//! * [`steering`] — RealityGrid-style computational steering framework.
+//! * [`core`] — the SPICE application: three-phase workflow and the
+//!   experiment drivers that regenerate every figure and table.
+
+pub use spice_core as core;
+pub use spice_gridsim as gridsim;
+pub use spice_jarzynski as jarzynski;
+pub use spice_md as md;
+pub use spice_pore as pore;
+pub use spice_smd as smd;
+pub use spice_stats as stats;
+pub use spice_steering as steering;

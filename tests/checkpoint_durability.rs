@@ -1,0 +1,51 @@
+//! Integration: checkpoint durability through the filesystem — the grid
+//! failure story (§V-C-4) depends on snapshots surviving a process, not
+//! just a function call.
+
+use spice::core::config::Scale;
+use spice::core::pipeline::pore_simulation;
+use spice::md::checkpoint::Snapshot;
+
+#[test]
+fn checkpoint_survives_disk_roundtrip_and_resumes_exactly() {
+    let dir = std::env::temp_dir().join(format!("spice_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mid-campaign.json");
+
+    // Run, checkpoint to disk, keep running → trajectory A.
+    let mut original = pore_simulation(Scale::Test, 77);
+    original.run(120, &mut []).unwrap();
+    Snapshot::capture(&original, "mid-campaign").save(&path).unwrap();
+    original.run(200, &mut []).unwrap();
+    let final_a = original.system().positions().to_vec();
+
+    // "Site failure": a brand-new simulation restores from disk and
+    // replays the remaining steps → must land on exactly trajectory A.
+    let loaded = Snapshot::load(&path).unwrap();
+    assert_eq!(loaded.label, "mid-campaign");
+    assert_eq!(loaded.step, 120);
+    let mut resumed = pore_simulation(Scale::Test, 77);
+    loaded.restore(&mut resumed).unwrap();
+    resumed.run(200, &mut []).unwrap();
+    assert_eq!(
+        resumed.system().positions(),
+        final_a.as_slice(),
+        "disk-restored replica must be bit-identical"
+    );
+
+    // Corrupted checkpoint fails loudly, not silently.
+    std::fs::write(&path, b"{ not json").unwrap();
+    assert!(Snapshot::load(&path).is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshots_of_different_phases_are_distinct() {
+    let mut sim = pore_simulation(Scale::Test, 3);
+    let s0 = Snapshot::capture(&sim, "t0");
+    sim.run(100, &mut []).unwrap();
+    let s1 = Snapshot::capture(&sim, "t1");
+    assert_ne!(s0.system.positions(), s1.system.positions());
+    assert_ne!(s0.step, s1.step);
+}

@@ -1,0 +1,71 @@
+//! Cross-crate grid integration: campaigns under failures, reservation
+//! workflows feeding co-scheduling, and the science-to-jobs mapping.
+
+use spice::gridsim::campaign::{paper_production_jobs, Campaign};
+use spice::gridsim::failure::{Outage, OutageCause};
+use spice::gridsim::federation::Federation;
+use spice::gridsim::job::Job;
+use spice::gridsim::metrics::federation_utilization;
+use spice::gridsim::scheduler::reservation::ManualBookingModel;
+
+#[test]
+fn campaign_tracks_science_workload() {
+    // One grid job per production realization — name, procs and hours all
+    // line up with the SMD-JE production set.
+    let jobs = paper_production_jobs();
+    assert_eq!(jobs.len(), 72);
+    for j in &jobs {
+        assert!(j.name.starts_with("smd-prod-"));
+    }
+    let total: f64 = jobs.iter().map(Job::cpu_hours).sum();
+    assert!((total - 75_000.0).abs() < 1_500.0);
+}
+
+#[test]
+fn breach_with_redundancy_beats_breach_without() {
+    let seed = 12;
+    let mut no_redundancy = Campaign::paper_batch_phase(seed);
+    no_redundancy.outages = vec![
+        Outage::security_breach(3, 0.0, 3.0),
+        Outage::new(4, 0.0, 21.0 * 24.0, OutageCause::MiddlewareImmaturity),
+    ];
+    let mut redundant = Campaign::paper_batch_phase(seed);
+    redundant.outages = vec![Outage::security_breach(3, 0.0, 3.0)];
+
+    let worse = no_redundancy.run();
+    let better = redundant.run();
+    assert!(better.makespan_hours <= worse.makespan_hours);
+    assert_eq!(better.records.len(), 72);
+    assert_eq!(worse.records.len(), 72, "work must survive outages");
+}
+
+#[test]
+fn utilization_increases_when_federation_shrinks() {
+    let fed = Federation::paper_us_uk();
+    let full = Campaign::paper_batch_phase(5);
+    let full_run = full.run();
+    let mut small = Campaign::paper_batch_phase(5);
+    small.federation = fed.restricted(&[0, 3]);
+    let small_run = small.run();
+    let u_full = federation_utilization(&full_run, &full.federation);
+    let u_small = federation_utilization(&small_run, &small.federation);
+    assert!(
+        u_small > u_full,
+        "fewer resources run hotter: {u_small:.2} vs {u_full:.2}"
+    );
+}
+
+#[test]
+fn co_scheduling_success_falls_with_more_grids() {
+    let fed = Federation::paper_us_uk();
+    let manual = ManualBookingModel::paper_manual();
+    let two_grids = fed.co_schedule_success_rate(&manual, 5_000, 3);
+    // A hypothetical 4-grid federation: duplicate the grids.
+    let mut four = fed.clone();
+    four.grids.extend(fed.grids.iter().cloned());
+    let four_grids = four.co_schedule_success_rate(&manual, 5_000, 3);
+    assert!(
+        four_grids < two_grids,
+        "§V-C-6: success decays with grid count ({four_grids:.3} vs {two_grids:.3})"
+    );
+}

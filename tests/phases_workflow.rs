@@ -1,0 +1,39 @@
+//! Integration: the paper's three-phase workflow runs end-to-end at Test
+//! scale — priming informs the parameter range, the interactive phase
+//! measures forces, the batch phase produces the PMF and the grid record.
+
+use spice::core::config::Scale;
+use spice::core::phases::{run_batch, run_interactive, run_priming};
+
+#[test]
+fn three_phase_workflow_end_to_end() {
+    // Phase 1: priming — "helps in choosing the initial range of
+    // parameters over which we will try to find the optimal value".
+    let priming = run_priming(Scale::Test, 31);
+    let (k_lo, k_hi) = priming.kappa_range_pn_per_a;
+    assert!(k_lo < 100.0 && 100.0 < k_hi, "priming must bracket the eventual optimum");
+
+    // Phase 2: interactive — forces and constraints from live steering.
+    let interactive = run_interactive(Scale::Test, 32);
+    assert!(interactive.peak_haptic_force_pn > 0.0);
+    assert!(interactive.lightpath.slowdown() < interactive.commodity.slowdown());
+
+    // Phase 3: batch — production PMF at the chosen optimum plus the
+    // federated campaign record.
+    let batch = run_batch(Scale::Test, 33);
+    let s = batch.summary();
+    assert!(s.under_a_week, "batch phase must finish under a simulated week");
+    assert!(s.single_site_days > 7.0, "the single-site counterfactual exceeds a week");
+    assert!(!batch.pmf.curve.points.is_empty());
+    assert_eq!(batch.pmf.kappa_pn_per_a, 100.0);
+    assert_eq!(batch.pmf.v_label, 12.5);
+}
+
+#[test]
+fn phases_are_deterministic() {
+    assert_eq!(run_priming(Scale::Test, 5), run_priming(Scale::Test, 5));
+    assert_eq!(
+        run_interactive(Scale::Test, 5),
+        run_interactive(Scale::Test, 5)
+    );
+}

@@ -1,0 +1,81 @@
+//! Property tests on the pore model through the public facade.
+
+use proptest::prelude::*;
+use spice::md::forces::ExternalPotential;
+use spice::md::Vec3;
+use spice::pore::geometry::PoreGeometry;
+use spice::pore::potential::{AxialCorrugation, PoreWall, SPECIES_DNA};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lumen radius is positive and bounded everywhere inside the
+    /// pore, and infinite (bulk) outside.
+    #[test]
+    fn radius_profile_sane(z in -50.0f64..150.0) {
+        let g = PoreGeometry::alpha_hemolysin();
+        let r = g.radius(z);
+        if (g.barrel_lo..=g.cap_hi).contains(&z) {
+            prop_assert!(r >= g.constriction_radius * 0.5 - 1e-9);
+            prop_assert!(r <= g.mouth_radius + g.corrugation_amplitude + 1e-9);
+        } else {
+            prop_assert!(!r.is_finite());
+        }
+    }
+
+    /// The wall never pushes a bead outward: the radial force component
+    /// always points toward the axis (or vanishes).
+    #[test]
+    fn wall_force_is_centripetal(
+        rho in 0.0f64..30.0,
+        angle in 0.0f64..std::f64::consts::TAU,
+        z in 0.0f64..100.0,
+    ) {
+        let wall = PoreWall::new(PoreGeometry::alpha_hemolysin(), 5.0, 2.5);
+        let p = Vec3::new(rho * angle.cos(), rho * angle.sin(), z);
+        let (e, f) = wall.energy_force(p, SPECIES_DNA);
+        prop_assert!(e >= 0.0);
+        if rho > 1e-9 {
+            let radial = (f.x * p.x + f.y * p.y) / rho;
+            prop_assert!(radial <= 1e-9, "outward wall force {radial} at rho={rho}, z={z}");
+        }
+    }
+
+    /// Wall energy is continuous: nearby points have nearby energies
+    /// (no cliffs a bead could fall off numerically).
+    #[test]
+    fn wall_energy_is_continuous(
+        x in -10.0f64..10.0,
+        y in -10.0f64..10.0,
+        z in 1.0f64..99.0,
+    ) {
+        let wall = PoreWall::new(PoreGeometry::alpha_hemolysin(), 5.0, 2.5);
+        let p = Vec3::new(x, y, z);
+        let e0 = wall.energy_force(p, SPECIES_DNA).0;
+        for d in [Vec3::new(1e-4, 0.0, 0.0), Vec3::new(0.0, 0.0, 1e-4)] {
+            let e1 = wall.energy_force(p + d, SPECIES_DNA).0;
+            prop_assert!((e1 - e0).abs() < 0.15 * (1.0 + e0), "cliff at {p:?}: {e0} → {e1}");
+        }
+    }
+
+    /// Corrugation is strictly confined to its windowed region and
+    /// bounded by its amplitude.
+    #[test]
+    fn corrugation_bounded_and_windowed(z in -20.0f64..120.0) {
+        let c = AxialCorrugation {
+            amplitude: 1.5,
+            period: 6.0,
+            z_lo: 10.0,
+            z_hi: 60.0,
+            ramp: 3.0,
+        };
+        let (e, f) = c.energy_force(Vec3::new(0.3, -0.1, z), SPECIES_DNA);
+        prop_assert!(e.abs() <= 1.5 + 1e-9);
+        if !(10.0..=60.0).contains(&z) {
+            prop_assert_eq!(e, 0.0);
+            prop_assert_eq!(f, Vec3::zero());
+        }
+        prop_assert_eq!(f.x, 0.0, "corrugation is purely axial");
+        prop_assert_eq!(f.y, 0.0);
+    }
+}

@@ -57,9 +57,7 @@ fn jarzynski(c: &mut Criterion) {
     });
     g.sample_size(10);
     g.bench_function("bootstrap_200", |b| {
-        b.iter(|| {
-            pmf_bootstrap_sigma(&ens, 10.0, 21, KT_300, Estimator::Jarzynski, 200, 9)
-        });
+        b.iter(|| pmf_bootstrap_sigma(&ens, 10.0, 21, KT_300, Estimator::Jarzynski, 200, 9));
     });
     g.finish();
 }

@@ -21,7 +21,12 @@ fn small_sim(seed: u64) -> Simulation {
     for i in 0..16 {
         ff = ff.with_restraint(Restraint::harmonic(i, Vec3::new(i as f64, 0.0, 0.0), 1.0));
     }
-    Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+    Simulation::new(
+        sys,
+        ff,
+        Box::new(LangevinBaoab::new(300.0, 2.0, seed)),
+        0.01,
+    )
 }
 
 fn steering(c: &mut Criterion) {

@@ -62,6 +62,21 @@ impl Scale {
         }
     }
 
+    /// Post-clone decorrelation steps when a cell amortizes equilibration
+    /// via checkpoint/clone (`run_ensemble_cloned`): each realization is
+    /// forked from the shared equilibrated snapshot and held this many
+    /// extra steps under its own noise stream before pulling. Sized at a
+    /// few thermostat relaxation times (γ = 5 ps⁻¹, dt = 0.01 ps →
+    /// 1/(γ·dt) = 20 steps) — long enough to wash out the correlated
+    /// start, an order of magnitude shorter than full equilibration.
+    pub fn decorrelation_steps(self) -> u64 {
+        match self {
+            Scale::Test => 60,
+            Scale::Bench => 200,
+            Scale::Paper => 500,
+        }
+    }
+
     /// DNA length (bases) of the model strand.
     pub fn dna_bases(self) -> usize {
         match self {

@@ -48,7 +48,12 @@ impl CostModel {
     /// Years until vanilla simulation becomes routine by Moore's-law
     /// doubling every `doubling_months` months, given a tolerable budget
     /// of `budget_cpu_hours`: §I's "a couple of decades away".
-    pub fn moores_law_years(&self, microseconds: f64, budget_cpu_hours: f64, doubling_months: f64) -> f64 {
+    pub fn moores_law_years(
+        &self,
+        microseconds: f64,
+        budget_cpu_hours: f64,
+        doubling_months: f64,
+    ) -> f64 {
         let needed = self.vanilla_cpu_hours(microseconds);
         if needed <= budget_cpu_hours {
             return 0.0;

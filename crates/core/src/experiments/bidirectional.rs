@@ -91,7 +91,10 @@ pub fn run(scale: Scale, master_seed: u64) -> Report {
     r.fact("realizations per direction", s.n_per_direction)
         .fact("ΔΦ, one-sided JE", format!("{:.2} kcal/mol", s.je_forward))
         .fact("ΔΦ, BAR", format!("{:.2} kcal/mol", s.bar))
-        .fact("ΔΦ, TI reference", format!("{:.2} kcal/mol", s.ti_reference))
+        .fact(
+            "ΔΦ, TI reference",
+            format!("{:.2} kcal/mol", s.ti_reference),
+        )
         .fact(
             "|bias| JE / BAR vs TI",
             format!(
@@ -100,7 +103,10 @@ pub fn run(scale: Scale, master_seed: u64) -> Report {
                 (s.bar - s.ti_reference).abs()
             ),
         )
-        .fact("protocol hysteresis", format!("{:.2} kcal/mol", s.hysteresis));
+        .fact(
+            "protocol hysteresis",
+            format!("{:.2} kcal/mol", s.hysteresis),
+        );
     r
 }
 
@@ -122,7 +128,11 @@ mod tests {
             s.bar,
             s.ti_reference
         );
-        assert!(s.hysteresis > -1.0, "hysteresis {} must be ≥ ~0", s.hysteresis);
+        assert!(
+            s.hysteresis > -1.0,
+            "hysteresis {} must be ≥ ~0",
+            s.hysteresis
+        );
     }
 
     #[test]

@@ -151,6 +151,9 @@ mod tests {
         };
         let no_red = get("T-fail: breach, no UK redundancy");
         let red = get("T-fail: breach, Leeds redundant");
-        assert!(red <= no_red, "redundant {red} must be ≤ non-redundant {no_red}");
+        assert!(
+            red <= no_red,
+            "redundant {red} must be ≤ non-redundant {no_red}"
+        );
     }
 }

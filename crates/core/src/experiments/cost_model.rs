@@ -50,10 +50,7 @@ pub fn run() -> Report {
         )
         .fact(
             "min procs for interactivity (≥1 Hz updates)",
-            format!(
-                "{} (paper: 256)",
-                m.min_procs_for_interactivity(1.0, 10)
-            ),
+            format!("{} (paper: 256)", m.min_procs_for_interactivity(1.0, 10)),
         );
     r
 }

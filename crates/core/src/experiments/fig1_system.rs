@@ -24,7 +24,10 @@ pub fn run(scale: Scale, master_seed: u64) -> Report {
         .to_vec();
     let s = summarize(sim.system(), &geometry, &dna);
 
-    let mut r = Report::new("F1", "System snapshot: ssDNA at the α-hemolysin pore (Fig. 1)");
+    let mut r = Report::new(
+        "F1",
+        "System snapshot: ssDNA at the α-hemolysin pore (Fig. 1)",
+    );
     r.fact("particles", s.n_particles)
         .fact("dna bases", s.n_dna)
         .fact("pore length (Å)", format!("{:.1}", s.pore_length))

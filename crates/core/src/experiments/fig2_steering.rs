@@ -7,9 +7,9 @@ use crate::config::Scale;
 use crate::pipeline::pore_simulation;
 use crate::report::Report;
 use spice_md::Vec3;
+use spice_stats::rng::SeedSequence;
 use spice_steering::service::GridService;
 use spice_steering::{SteeringClient, SteeringHook, Visualizer};
-use spice_stats::rng::SeedSequence;
 
 /// Run F2.
 pub fn run(scale: Scale, master_seed: u64) -> Report {
@@ -43,13 +43,16 @@ pub fn run(scale: Scale, master_seed: u64) -> Report {
         "F2",
         "RealityGrid steering architecture exercised end-to-end (Fig. 2)",
     );
-    r.fact("components", "simulation, visualizer, steering client, grid service")
-        .fact("frames emitted", hook.frames_emitted())
-        .fact("frames rendered", frames)
-        .fact("messages routed", routed)
-        .fact("params applied", format!("{:?}", hook.params()))
-        .fact("direct-channel forces", hook.forces_applied())
-        .fact("checkpoints stored", format!("{checkpoints:?}"));
+    r.fact(
+        "components",
+        "simulation, visualizer, steering client, grid service",
+    )
+    .fact("frames emitted", hook.frames_emitted())
+    .fact("frames rendered", frames)
+    .fact("messages routed", routed)
+    .fact("params applied", format!("{:?}", hook.params()))
+    .fact("direct-channel forces", hook.forces_applied())
+    .fact("checkpoints stored", format!("{checkpoints:?}"));
     r
 }
 

@@ -60,23 +60,14 @@ pub fn measure(scale: Scale, master_seed: u64) -> StretchAnalysis {
         sim.run(scale.equilibration_steps() / 2, &mut [])
             .expect("translocation equilibration");
         let kappa = units::spring_pn_per_a_to_kcal(100.0);
-        let velocity =
-            units::velocity_a_per_ns_to_a_per_ps(50.0 * scale.velocity_factor());
+        let velocity = units::velocity_a_per_ns_to_a_per_ps(50.0 * scale.velocity_factor());
         let masses = sim.system().masses().to_vec();
         let lead = dna[0];
         let com0 = sim.system().positions()[lead].z;
-        let spring = SmdSpring::new(
-            vec![lead],
-            &masses,
-            kappa,
-            velocity,
-            com0,
-            sim.time_ps(),
-        );
+        let spring = SmdSpring::new(vec![lead], &masses, kappa, velocity, com0, sim.time_ps());
         sim.set_bias(Some(Box::new(spring)));
         let pull_distance = scale.pull_distance() * 1.5;
-        let total_steps =
-            (pull_distance / (velocity * sim.dt())).ceil() as u64;
+        let total_steps = (pull_distance / (velocity * sim.dt())).ceil() as u64;
         let stride = (total_steps / 40).max(1);
         let mut done = 0;
         while done < total_steps {
@@ -118,7 +109,10 @@ pub fn run(scale: Scale, master_seed: u64) -> Report {
         "mean bead spacing near constriction (Å)",
         format!("{:.3}", a.near_constriction),
     )
-    .fact("mean bead spacing elsewhere (Å)", format!("{:.3}", a.elsewhere))
+    .fact(
+        "mean bead spacing elsewhere (Å)",
+        format!("{:.3}", a.elsewhere),
+    )
     .fact(
         "stretch contrast",
         format!("{:.3}×", a.near_constriction / a.elsewhere),

@@ -52,7 +52,10 @@ pub fn run(scale: Scale, master_seed: u64) -> Report {
     )
     .fact(
         "IMD rate @128 procs",
-        format!("{:.2} Hz (below interactive threshold)", cost.imd_rate_hz(128, 10)),
+        format!(
+            "{:.2} Hz (below interactive threshold)",
+            cost.imd_rate_hz(128, 10)
+        ),
     )
     .fact(
         "IMD rate @256 procs",

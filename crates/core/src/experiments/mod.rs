@@ -52,8 +52,18 @@ mod tests {
         // Every index id appears once.
         let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
         for want in [
-            "F1", "F2", "F3", "F4", "T-subtraj", "T-cost", "T-batch", "T-imd", "T-hidden",
-            "T-resv", "T-ti", "T-bidir",
+            "F1",
+            "F2",
+            "F3",
+            "F4",
+            "T-subtraj",
+            "T-cost",
+            "T-batch",
+            "T-imd",
+            "T-hidden",
+            "T-resv",
+            "T-ti",
+            "T-bidir",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}: {ids:?}");
         }

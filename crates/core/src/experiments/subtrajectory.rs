@@ -68,7 +68,11 @@ pub fn study(scale: Scale, master_seed: u64) -> SubtrajStudy {
     let seg_trajs: Vec<Vec<WorkTrajectory>> = {
         let mut per_segment: Vec<Vec<WorkTrajectory>> = vec![Vec::new(); 2];
         for t in &trajectories {
-            for (i, seg) in segment_trajectory(t, seg_len).into_iter().enumerate().take(2) {
+            for (i, seg) in segment_trajectory(t, seg_len)
+                .into_iter()
+                .enumerate()
+                .take(2)
+            {
                 per_segment[i].push(seg);
             }
         }
@@ -117,11 +121,17 @@ pub fn run(scale: Scale, master_seed: u64) -> Report {
     )
     .fact(
         "stitched PMF end value",
-        format!("{:.3}", s.stitched.points.last().map(|p| p.phi).unwrap_or(f64::NAN)),
+        format!(
+            "{:.3}",
+            s.stitched.points.last().map(|p| p.phi).unwrap_or(f64::NAN)
+        ),
     )
     .fact(
         "long-pull PMF end value",
-        format!("{:.3}", s.long.points.last().map(|p| p.phi).unwrap_or(f64::NAN)),
+        format!(
+            "{:.3}",
+            s.long.points.last().map(|p| p.phi).unwrap_or(f64::NAN)
+        ),
     );
     let pts: Vec<Vec<f64>> = s
         .sigma_vs_displacement
@@ -147,8 +157,7 @@ mod tests {
         assert!(sig.len() >= 4);
         // Compare mean σ over the first vs last third.
         let third = sig.len() / 3;
-        let early: f64 =
-            sig[1..=third].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
+        let early: f64 = sig[1..=third].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
         let late: f64 = sig[sig.len() - third..]
             .iter()
             .map(|&(_, v)| v)

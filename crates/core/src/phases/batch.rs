@@ -79,7 +79,11 @@ mod tests {
     fn batch_reproduces_t_batch_claims() {
         let r = run_batch(Scale::Test, 21);
         let s = r.summary();
-        assert!(s.under_a_week, "federated campaign took {} days", s.federated_days);
+        assert!(
+            s.under_a_week,
+            "federated campaign took {} days",
+            s.federated_days
+        );
         assert!(
             s.single_site_days > 1.8 * s.federated_days,
             "grid advantage missing: {} vs {}",

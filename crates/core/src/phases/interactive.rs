@@ -11,10 +11,10 @@ use crate::costing::CostModel;
 use crate::pipeline::pore_simulation;
 use serde::{Deserialize, Serialize};
 use spice_gridsim::network::{Path, QosProfile};
+use spice_stats::rng::SeedSequence;
 use spice_steering::imd::{simulate_session, ImdConfig, ImdStats};
 use spice_steering::service::GridService;
 use spice_steering::{HapticDevice, SteeringHook, Visualizer};
-use spice_stats::rng::SeedSequence;
 
 /// What the interactive phase produced.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -71,8 +71,7 @@ pub fn run_interactive(scale: Scale, master_seed: u64) -> InteractiveResult {
     control
         .run(bursts * 10, &mut [])
         .expect("interactive control");
-    let dragged =
-        sim.system().positions()[lead].z - control.system().positions()[lead].z;
+    let dragged = sim.system().positions()[lead].z - control.system().positions()[lead].z;
     let device = vis.haptic.as_ref().expect("device attached");
     let peak_pn = device.max_observed_force_pn();
 

@@ -83,7 +83,10 @@ mod tests {
     fn priming_measures_a_force_scale() {
         let r = run_priming(Scale::Test, 42);
         assert!(r.peak_force_pn > 0.0, "dragging must meet resistance");
-        assert!(r.peak_force_pn < 5_000.0, "forces should be molecular-scale");
+        assert!(
+            r.peak_force_pn < 5_000.0,
+            "forces should be molecular-scale"
+        );
         assert!(r.mean_force_pn <= r.peak_force_pn);
         assert!(r.steps > 0);
     }

@@ -11,7 +11,7 @@ use spice_md::units::KT_300;
 use spice_md::Simulation;
 use spice_pore::build::{PoreSystemBuilder, SmdSelection};
 use spice_pore::dna::DnaParams;
-use spice_smd::{run_ensemble, PullProtocol, WorkTrajectory};
+use spice_smd::{run_ensemble_cloned, PullProtocol, WorkTrajectory};
 use spice_stats::rng::SeedSequence;
 
 /// Leading-bead start height: in the β-barrel just below the
@@ -78,11 +78,15 @@ pub struct SweepResult {
 /// Run one (κ, v) ensemble and estimate its PMF.
 pub fn run_cell(scale: Scale, kappa: f64, v_label: f64, seeds: SeedSequence) -> PmfCell {
     let protocol = scale.protocol(kappa, v_label);
-    let results = run_ensemble(
+    // Clone-amortized ensemble: one shared equilibration per cell, each
+    // realization forked from the snapshot with a fresh noise stream plus
+    // a short decorrelation hold (see DESIGN.md).
+    let results = run_ensemble_cloned(
         |seed| pore_simulation(scale, seed),
         &protocol,
         scale.realizations(),
         seeds,
+        scale.decorrelation_steps(),
     );
     let mut trajectories: Vec<WorkTrajectory> =
         results.into_iter().filter_map(Result::ok).collect();
@@ -243,8 +247,7 @@ pub fn run_sweep(scale: Scale, master_seed: u64) -> SweepResult {
     let mut table = Vec::with_capacity(cells.len());
     for cell in &cells {
         let slower = cells.iter().find(|c| {
-            c.kappa_pn_per_a == cell.kappa_pn_per_a
-                && (c.v_label * 2.0 - cell.v_label).abs() < 1e-9
+            c.kappa_pn_per_a == cell.kappa_pn_per_a && (c.v_label * 2.0 - cell.v_label).abs() < 1e-9
         });
         let delta = slower
             .map(|s| cell.curve.rms_difference(&s.curve))
@@ -292,18 +295,19 @@ mod tests {
         // PMF rises through the constriction approach (confinement +
         // like-charge ring): the end value should be positive.
         let last = cell.curve.points.last().expect("points");
-        assert!(
-            last.phi.is_finite(),
-            "PMF must be finite, got {}",
-            last.phi
-        );
+        assert!(last.phi.is_finite(), "PMF must be finite, got {}", last.phi);
     }
 
     #[test]
     fn jarzynski_below_mean_work_in_real_pipeline() {
         let cell = run_cell(Scale::Test, 100.0, 100.0, SeedSequence::new(6));
         for (je, mw) in cell.curve.points.iter().zip(&cell.mean_work_curve.points) {
-            assert!(je.phi <= mw.phi + 1e-6, "JE {} above mean work {}", je.phi, mw.phi);
+            assert!(
+                je.phi <= mw.phi + 1e-6,
+                "JE {} above mean work {}",
+                je.phi,
+                mw.phi
+            );
         }
     }
 

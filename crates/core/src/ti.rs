@@ -228,16 +228,27 @@ mod tests {
             sys.add_particle(Vec3::zero(), 50.0, 0.0, 0);
             let mut topo = Topology::new();
             topo.set_group("smd", vec![0]);
-            let ff =
-                ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), a));
-            Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, seed)), 0.02)
+            let ff = ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), a));
+            Simulation::new(
+                sys,
+                ff,
+                Box::new(LangevinBaoab::new(300.0, 5.0, seed)),
+                0.02,
+            )
         }
     }
 
     #[test]
     fn ti_recovers_harmonic_pmf() {
         let a = 0.5;
-        let ti = ti_profile(well_factory(a), Scale::Test, 3.0, 7, 500.0, SeedSequence::new(3));
+        let ti = ti_profile(
+            well_factory(a),
+            Scale::Test,
+            3.0,
+            7,
+            500.0,
+            SeedSequence::new(3),
+        );
         for &(s, phi) in &ti.profile {
             let expected = a * s * s;
             assert!(
@@ -249,7 +260,14 @@ mod tests {
 
     #[test]
     fn windows_report_positive_force_uphill() {
-        let ti = ti_profile(well_factory(1.0), Scale::Test, 2.0, 5, 500.0, SeedSequence::new(4));
+        let ti = ti_profile(
+            well_factory(1.0),
+            Scale::Test,
+            2.0,
+            5,
+            500.0,
+            SeedSequence::new(4),
+        );
         // Holding the bead displaced uphill needs a positive (upward)
         // spring force that grows with displacement.
         let forces: Vec<f64> = ti.windows.iter().map(|w| w.mean_force).collect();
@@ -269,8 +287,22 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = ti_profile(well_factory(1.0), Scale::Test, 1.0, 3, 300.0, SeedSequence::new(9));
-        let b = ti_profile(well_factory(1.0), Scale::Test, 1.0, 3, 300.0, SeedSequence::new(9));
+        let a = ti_profile(
+            well_factory(1.0),
+            Scale::Test,
+            1.0,
+            3,
+            300.0,
+            SeedSequence::new(9),
+        );
+        let b = ti_profile(
+            well_factory(1.0),
+            Scale::Test,
+            1.0,
+            3,
+            300.0,
+            SeedSequence::new(9),
+        );
         assert_eq!(a, b);
     }
 }

@@ -166,10 +166,7 @@ impl Campaign {
             });
         }
 
-        let makespan = records
-            .iter()
-            .map(|r| r.finished)
-            .fold(0.0f64, f64::max);
+        let makespan = records.iter().map(|r| r.finished).fold(0.0f64, f64::max);
         let cpu_hours = records.iter().map(JobRecord::cpu_hours).sum();
         CampaignResult {
             records,
@@ -235,7 +232,10 @@ mod tests {
     fn campaign_spreads_over_multiple_sites() {
         let result = Campaign::paper_batch_phase(3).run();
         let used_sites = result.jobs_per_site.iter().filter(|(_, n)| *n > 0).count();
-        assert!(used_sites >= 4, "federation must actually be used: {used_sites} sites");
+        assert!(
+            used_sites >= 4,
+            "federation must actually be used: {used_sites} sites"
+        );
     }
 
     #[test]

@@ -80,11 +80,11 @@ pub fn run_des_with_policy(campaign: &Campaign, policy: DispatchPolicy) -> Campa
     let mut rr_cursor = 0usize;
 
     let try_start = |si: usize,
-                         now: f64,
-                         schedulers: &mut Vec<SiteScheduler>,
-                         q: &mut EventQueue<Ev>,
-                         records: &mut Vec<JobRecord>,
-                         jobs_per_site: &mut Vec<usize>| {
+                     now: f64,
+                     schedulers: &mut Vec<SiteScheduler>,
+                     q: &mut EventQueue<Ev>,
+                     records: &mut Vec<JobRecord>,
+                     jobs_per_site: &mut Vec<usize>| {
         let site = &campaign.federation.sites[si];
         let started = schedulers[si].try_start(now, |j| site.runtime(j.wall_hours));
         for (job, finish) in started {
@@ -123,11 +123,9 @@ pub fn run_des_with_policy(campaign: &Campaign, policy: DispatchPolicy) -> Campa
                 // both for the dispatcher's estimate and as the applied
                 // wait — a single definition so they cannot diverge.
                 let wait_at = |si: usize| -> f64 {
-                    let u = (seed_stream(campaign.seed, (ji as u64) << 8 | si as u64) >> 11)
-                        as f64
+                    let u = (seed_stream(campaign.seed, (ji as u64) << 8 | si as u64) >> 11) as f64
                         / (1u64 << 53) as f64;
-                    -campaign.federation.sites[si].mean_queue_wait
-                        * (1.0 - u).max(1e-12).ln()
+                    -campaign.federation.sites[si].mean_queue_wait * (1.0 - u).max(1e-12).ln()
                 };
                 let si = match policy {
                     DispatchPolicy::EarliestCompletion => {
@@ -158,7 +156,10 @@ pub fn run_des_with_policy(campaign: &Campaign, policy: DispatchPolicy) -> Campa
                 let queue_wait = wait_at(si);
                 backlog_cpu_h[si] += job.cpu_hours();
                 schedulers[si].submit(job.clone(), now + queue_wait);
-                q.schedule(SimTime::from_hours(now + queue_wait), Ev::Poke(si as SiteId));
+                q.schedule(
+                    SimTime::from_hours(now + queue_wait),
+                    Ev::Poke(si as SiteId),
+                );
             }
             Ev::Finish(site_id, job_id) => {
                 let si = site_id as usize;
@@ -166,18 +167,30 @@ pub fn run_des_with_policy(campaign: &Campaign, policy: DispatchPolicy) -> Campa
                 if let Some(rec) = records.iter().find(|r| r.job == job_id) {
                     backlog_cpu_h[si] -= rec.cpu_hours();
                 }
-                try_start(si, now, &mut schedulers, &mut q, &mut records, &mut jobs_per_site);
+                try_start(
+                    si,
+                    now,
+                    &mut schedulers,
+                    &mut q,
+                    &mut records,
+                    &mut jobs_per_site,
+                );
             }
             Ev::Poke(site_id) => {
                 let si = site_id as usize;
-                try_start(si, now, &mut schedulers, &mut q, &mut records, &mut jobs_per_site);
+                try_start(
+                    si,
+                    now,
+                    &mut schedulers,
+                    &mut q,
+                    &mut records,
+                    &mut jobs_per_site,
+                );
                 // If the site is down, re-poke at recovery time handled by
                 // the next Finish/Poke; ensure at least one retry after any
                 // active downtime by scheduling a poke at next_ready.
                 if schedulers[si].queued() > 0 {
-                    if let Some((_, f)) =
-                        schedulers[si].next_finish().filter(|&(_, f)| f > now)
-                    {
+                    if let Some((_, f)) = schedulers[si].next_finish().filter(|&(_, f)| f > now) {
                         q.schedule(SimTime::from_hours(f), Ev::Poke(site_id));
                     } else {
                         // Nothing running (site likely down): retry hourly.

@@ -63,7 +63,12 @@ impl Outage {
     /// The paper's security-breach scenario: the given site is down for
     /// `weeks` weeks starting at `start_h`.
     pub fn security_breach(site: SiteId, start_h: f64, weeks: f64) -> Self {
-        Outage::new(site, start_h, start_h + weeks * 7.0 * 24.0, OutageCause::SecurityBreach)
+        Outage::new(
+            site,
+            start_h,
+            start_h + weeks * 7.0 * 24.0,
+            OutageCause::SecurityBreach,
+        )
     }
 }
 

@@ -78,7 +78,12 @@ impl Federation {
             .iter()
             .map(|g| Grid {
                 name: g.name.clone(),
-                sites: g.sites.iter().copied().filter(|id| keep.contains(id)).collect(),
+                sites: g
+                    .sites
+                    .iter()
+                    .copied()
+                    .filter(|id| keep.contains(id))
+                    .collect(),
             })
             .filter(|g| !g.sites.is_empty())
             .collect();

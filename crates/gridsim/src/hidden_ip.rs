@@ -88,10 +88,7 @@ pub fn connect_inbound(
 /// connection: `base` is the site-to-peer wide-area link; when routed,
 /// the gateway hop is prepended and the shared-gateway bandwidth cap
 /// applied for the current stream count.
-pub fn effective_path(
-    base: Link,
-    routed: Option<(&Gateway, u32)>,
-) -> Path {
+pub fn effective_path(base: Link, routed: Option<(&Gateway, u32)>) -> Path {
     match routed {
         None => Path::new(vec![base]),
         Some((gw, streams)) => {

@@ -54,10 +54,16 @@ mod tests {
         let c = Campaign::paper_batch_phase(4);
         let r = c.run();
         for (_, u) in site_utilization(&r, &c.federation) {
-            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u} out of range");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "utilization {u} out of range"
+            );
         }
         let total = federation_utilization(&r, &c.federation);
-        assert!(total > 0.05 && total <= 1.0, "federation utilization {total}");
+        assert!(
+            total > 0.05 && total <= 1.0,
+            "federation utilization {total}"
+        );
     }
 
     #[test]

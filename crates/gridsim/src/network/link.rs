@@ -68,8 +68,7 @@ impl Link {
         // Two uniforms → Box-Muller normal for the jitter term.
         let u1 = (seed_stream(seed, 2 * n) >> 11) as f64 / (1u64 << 53) as f64;
         let u2 = (seed_stream(seed, 2 * n + 1) >> 11) as f64 / (1u64 << 53) as f64;
-        let z = (-2.0 * (u1.max(1e-300)).ln()).sqrt()
-            * (2.0 * std::f64::consts::PI * u2).cos();
+        let z = (-2.0 * (u1.max(1e-300)).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (self.latency_ms + self.jitter_ms * z).max(self.latency_ms * 0.5)
     }
 
@@ -109,7 +108,11 @@ mod tests {
         for n in 0..50_000 {
             rs.push(link.sample_latency_ms(1, n));
         }
-        assert!((rs.mean() - link.latency_ms).abs() < 1.0, "mean {}", rs.mean());
+        assert!(
+            (rs.mean() - link.latency_ms).abs() < 1.0,
+            "mean {}",
+            rs.mean()
+        );
         // Truncation slightly shrinks the std; allow 20%.
         assert!(
             (rs.std_dev() - link.jitter_ms).abs() < 0.2 * link.jitter_ms,
@@ -141,17 +144,18 @@ mod tests {
             bandwidth_mbps: 1.0,
             lightpath: false,
         };
-        let delivered = (0..100_000)
-            .filter(|&n| link.sample_delivery(3, n))
-            .count() as f64
-            / 100_000.0;
-        assert!((delivered - 0.95).abs() < 0.005, "delivery rate {delivered}");
+        let delivered =
+            (0..100_000).filter(|&n| link.sample_delivery(3, n)).count() as f64 / 100_000.0;
+        assert!(
+            (delivered - 0.95).abs() < 0.005,
+            "delivery rate {delivered}"
+        );
     }
 
     #[test]
     fn transfer_time_scales_with_size() {
         let link = QosProfile::Lan.link(); // 1000 Mbit/s
-        // 1 MB = 8 Mbit → 8 ms at 1000 Mbit/s... wait: 8e6 bits / 1e6 bit/ms = 8 ms.
+                                           // 1 MB = 8 Mbit → 8 ms at 1000 Mbit/s... wait: 8e6 bits / 1e6 bit/ms = 8 ms.
         assert!((link.transfer_ms(1_000_000) - 8.0).abs() < 1e-9);
         assert!(link.transfer_ms(2_000_000) > link.transfer_ms(1_000_000));
     }

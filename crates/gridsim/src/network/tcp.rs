@@ -93,7 +93,11 @@ mod tests {
         let gp = QosProfile::TransAtlanticCommodity.link();
         let n = flows_needed(&gp, 50.0, DEFAULT_MSS).unwrap();
         assert!(n > 10, "lossy trans-Atlantic needs many flows: {n}");
-        assert_eq!(flows_needed(&gp, 1000.0, DEFAULT_MSS), None, "above line rate");
+        assert_eq!(
+            flows_needed(&gp, 1000.0, DEFAULT_MSS),
+            None,
+            "above line rate"
+        );
         let lp = QosProfile::TransAtlanticLightpath.link();
         // Even the lightpath's residual 1e-6 loss caps a single 90 ms-RTT
         // flow near 160 Mbit/s — still only a handful of flows needed.

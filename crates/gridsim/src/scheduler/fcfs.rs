@@ -63,11 +63,7 @@ impl SiteScheduler {
     /// start if they fit (aggressive backfill). Returns
     /// `(job, finish_time)` for each started job, given per-job runtimes
     /// from `runtime(job)`.
-    pub fn try_start(
-        &mut self,
-        now: f64,
-        mut runtime: impl FnMut(&Job) -> f64,
-    ) -> Vec<(Job, f64)> {
+    pub fn try_start(&mut self, now: f64, mut runtime: impl FnMut(&Job) -> f64) -> Vec<(Job, f64)> {
         if let Some(until) = self.down_until {
             if now < until {
                 return Vec::new();
@@ -121,10 +117,7 @@ impl SiteScheduler {
 
     /// Earliest ready time among queued jobs, if any.
     pub fn next_ready(&self) -> Option<f64> {
-        self.queue
-            .iter()
-            .map(|q| q.ready)
-            .min_by(f64::total_cmp)
+        self.queue.iter().map(|q| q.ready).min_by(f64::total_cmp)
     }
 
     /// Free processors.

@@ -89,7 +89,12 @@ impl CapacityProfile {
         // Candidate starts: not_before, every delta point after it, and
         // every blocked-window end.
         let mut candidates: Vec<f64> = vec![not_before];
-        candidates.extend(self.deltas.iter().map(|&(t, _)| t).filter(|&t| t > not_before));
+        candidates.extend(
+            self.deltas
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| t > not_before),
+        );
         candidates.extend(blocked.iter().map(|&(_, e)| e).filter(|&e| e > not_before));
         candidates.sort_by(f64::total_cmp);
         candidates.dedup();

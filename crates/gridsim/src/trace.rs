@@ -104,7 +104,10 @@ mod tests {
             .expect("NCSA row")
             .to_string();
         for ch in ncsa_row.chars().filter(|c| c.is_ascii_digit()) {
-            assert!(ch.to_digit(10).unwrap() <= 3, "NCSA over-concurrency: {ncsa_row}");
+            assert!(
+                ch.to_digit(10).unwrap() <= 3,
+                "NCSA over-concurrency: {ncsa_row}"
+            );
         }
     }
 

@@ -148,7 +148,10 @@ mod tests {
         let bar = bar_free_energy(&fwd, &rev, KT_300);
         let crossing = crooks_crossing(&fwd, &rev, KT_300);
         assert!((bar + 2.0).abs() < 0.05, "BAR {bar}");
-        assert!((crossing - bar).abs() < 0.2, "crossing {crossing} vs BAR {bar}");
+        assert!(
+            (crossing - bar).abs() < 0.2,
+            "crossing {crossing} vs BAR {bar}"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub fn pmf_bootstrap_sigma(
     resamples: usize,
     seed: u64,
 ) -> Vec<(f64, f64)> {
-    assert!(trajectories.len() >= 2, "need ≥2 realizations for error bars");
+    assert!(
+        trajectories.len() >= 2,
+        "need ≥2 realizations for error bars"
+    );
     let n = trajectories.len();
     // Collect bootstrap PMFs.
     let mut replicate_phis: Vec<Vec<f64>> = Vec::with_capacity(resamples);
@@ -57,11 +60,7 @@ pub fn pmf_bootstrap_sigma(
 /// Scalar statistical error of a curve: RMS of the per-point bootstrap
 /// sigmas (excluding the pinned Φ(0) = 0 point).
 pub fn pmf_sigma_scalar(sigmas: &[(f64, f64)]) -> f64 {
-    let vals: Vec<f64> = sigmas
-        .iter()
-        .skip(1)
-        .map(|&(_, s)| s * s)
-        .collect();
+    let vals: Vec<f64> = sigmas.iter().skip(1).map(|&(_, s)| s * s).collect();
     if vals.is_empty() {
         return f64::NAN;
     }
@@ -86,7 +85,10 @@ pub fn cost_normalized_sigma(
     v_ref_a_per_ns: f64,
     n_ref_budget: usize,
 ) -> f64 {
-    assert!(v_a_per_ns > 0.0 && v_ref_a_per_ns > 0.0, "velocities must be positive");
+    assert!(
+        v_a_per_ns > 0.0 && v_ref_a_per_ns > 0.0,
+        "velocities must be positive"
+    );
     assert!(n_used > 0 && n_ref_budget > 0);
     let n_affordable = n_ref_budget as f64 * v_a_per_ns / v_ref_a_per_ns;
     sigma_measured * (n_used as f64 / n_affordable).sqrt()
@@ -127,8 +129,24 @@ mod tests {
 
     #[test]
     fn bootstrap_sigma_grows_with_noise() {
-        let quiet = pmf_bootstrap_sigma(&ensemble(24, 0.2, 1), 10.0, 11, KT_300, Estimator::Jarzynski, 100, 5);
-        let noisy = pmf_bootstrap_sigma(&ensemble(24, 2.0, 1), 10.0, 11, KT_300, Estimator::Jarzynski, 100, 5);
+        let quiet = pmf_bootstrap_sigma(
+            &ensemble(24, 0.2, 1),
+            10.0,
+            11,
+            KT_300,
+            Estimator::Jarzynski,
+            100,
+            5,
+        );
+        let noisy = pmf_bootstrap_sigma(
+            &ensemble(24, 2.0, 1),
+            10.0,
+            11,
+            KT_300,
+            Estimator::Jarzynski,
+            100,
+            5,
+        );
         let sq = pmf_sigma_scalar(&quiet);
         let sn = pmf_sigma_scalar(&noisy);
         assert!(sn > 2.0 * sq, "noisy σ {sn} should dwarf quiet σ {sq}");

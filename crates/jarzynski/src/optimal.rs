@@ -73,8 +73,7 @@ pub fn select_optimal(cells: &[ParameterCell], significance: f64) -> Selection {
     // observable; they are ineligible. (If nothing covered, fall back to
     // everything rather than panic — the caller's report will show why.)
     let eligible: Vec<ParameterCell> = {
-        let covered: Vec<ParameterCell> =
-            cells.iter().copied().filter(|c| c.covered).collect();
+        let covered: Vec<ParameterCell> = cells.iter().copied().filter(|c| c.covered).collect();
         if covered.is_empty() {
             cells.to_vec()
         } else {
@@ -173,7 +172,11 @@ mod tests {
     #[test]
     fn selects_paper_optimum_on_paper_like_data() {
         let sel = select_optimal(&paper_like_cells(), 0.3);
-        assert_eq!(sel.kappa_pn_per_a, 100.0, "κ ranking: {:?}", sel.kappa_ranking);
+        assert_eq!(
+            sel.kappa_pn_per_a, 100.0,
+            "κ ranking: {:?}",
+            sel.kappa_ranking
+        );
         assert_eq!(sel.v_a_per_ns, 12.5);
         assert!(sel.converged, "12.5 vs 25 indistinguishable → converged");
     }

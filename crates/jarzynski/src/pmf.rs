@@ -156,10 +156,7 @@ impl PmfCurve {
 
     /// Largest |Φ| over the grid (scale of the profile).
     pub fn max_abs_phi(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|p| p.phi.abs())
-            .fold(0.0, f64::max)
+        self.points.iter().map(|p| p.phi.abs()).fold(0.0, f64::max)
     }
 
     /// RMS deviation from another curve over their common grid (requires
@@ -319,8 +316,20 @@ mod tests {
     fn noisier_ensembles_deviate_more() {
         // Sanity: JE from high-noise ensembles deviates more from truth
         // (σ_stat mechanism of Fig. 4).
-        let quiet = PmfCurve::estimate(&synthetic_ensemble(16, 0.1), 10.0, 11, KT_300, Estimator::Jarzynski);
-        let noisy = PmfCurve::estimate(&synthetic_ensemble(16, 3.0), 10.0, 11, KT_300, Estimator::Jarzynski);
+        let quiet = PmfCurve::estimate(
+            &synthetic_ensemble(16, 0.1),
+            10.0,
+            11,
+            KT_300,
+            Estimator::Jarzynski,
+        );
+        let noisy = PmfCurve::estimate(
+            &synthetic_ensemble(16, 3.0),
+            10.0,
+            11,
+            KT_300,
+            Estimator::Jarzynski,
+        );
         let dev = |pmf: &PmfCurve| -> f64 {
             pmf.points
                 .iter()

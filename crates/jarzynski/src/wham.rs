@@ -58,7 +58,11 @@ pub fn wham(
     assert!(!windows.is_empty(), "WHAM needs at least one window");
     assert!(kt > 0.0 && hi > lo && nbins >= 2);
     for w in windows {
-        assert!(!w.samples.is_empty(), "window at {} has no samples", w.center);
+        assert!(
+            !w.samples.is_empty(),
+            "window at {} has no samples",
+            w.center
+        );
     }
     let nw = windows.len();
     let width = (hi - lo) / nbins as f64;
@@ -143,11 +147,7 @@ pub fn wham(
         .filter(|&b| p[b] > 0.0)
         .map(|b| (centers[b], -kt * p[b].ln()))
         .collect();
-    if let Some(min) = profile
-        .iter()
-        .map(|&(_, phi)| phi)
-        .min_by(f64::total_cmp)
-    {
+    if let Some(min) = profile.iter().map(|&(_, phi)| phi).min_by(f64::total_cmp) {
         for (_, phi) in &mut profile {
             *phi -= min;
         }

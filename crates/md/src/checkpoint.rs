@@ -97,7 +97,12 @@ mod tests {
         for i in 0..4 {
             ff = ff.with_restraint(Restraint::harmonic(i, Vec3::new(i as f64, 0.0, 0.0), 1.0));
         }
-        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 2.0, seed)),
+            0.01,
+        )
     }
 
     #[test]

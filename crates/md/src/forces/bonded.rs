@@ -224,7 +224,10 @@ mod tests {
             for ax in 0..3 {
                 let num = numeric_force(energy, &pos, i, ax);
                 let ana = [f[i].x, f[i].y, f[i].z][ax];
-                assert!((num - ana).abs() < 1e-5 * (1.0 + ana.abs()), "i={i} ax={ax}: {num} vs {ana}");
+                assert!(
+                    (num - ana).abs() < 1e-5 * (1.0 + ana.abs()),
+                    "i={i} ax={ax}: {num} vs {ana}"
+                );
             }
         }
     }
@@ -249,7 +252,10 @@ mod tests {
             for ax in 0..3 {
                 let num = numeric_force(energy, &pos, i, ax);
                 let ana = [f[i].x, f[i].y, f[i].z][ax];
-                assert!((num - ana).abs() < 1e-4 * (1.0 + ana.abs()), "i={i} ax={ax}: {num} vs {ana}");
+                assert!(
+                    (num - ana).abs() < 1e-4 * (1.0 + ana.abs()),
+                    "i={i} ax={ax}: {num} vs {ana}"
+                );
             }
         }
     }
@@ -290,7 +296,10 @@ mod tests {
             for ax in 0..3 {
                 let num = numeric_force(energy, &pos, i, ax);
                 let ana = [f[i].x, f[i].y, f[i].z][ax];
-                assert!((num - ana).abs() < 1e-4 * (1.0 + ana.abs()), "i={i} ax={ax}: {num} vs {ana}");
+                assert!(
+                    (num - ana).abs() < 1e-4 * (1.0 + ana.abs()),
+                    "i={i} ax={ax}: {num} vs {ana}"
+                );
             }
         }
     }

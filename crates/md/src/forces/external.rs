@@ -99,7 +99,11 @@ impl ExternalPotential for CylinderWall {
         let e = self.k * d * d;
         // Gradient points radially outward; force pulls back in.
         let inv = if rho > 0.0 { 1.0 / rho } else { 0.0 };
-        let f = Vec3::new(-2.0 * self.k * d * p.x * inv, -2.0 * self.k * d * p.y * inv, 0.0);
+        let f = Vec3::new(
+            -2.0 * self.k * d * p.x * inv,
+            -2.0 * self.k * d * p.y * inv,
+            0.0,
+        );
         (e, f)
     }
 
@@ -141,7 +145,10 @@ mod tests {
 
     #[test]
     fn cylinder_wall_radial_restoring() {
-        let w = CylinderWall { radius: 2.0, k: 5.0 };
+        let w = CylinderWall {
+            radius: 2.0,
+            k: 5.0,
+        };
         let (e, f) = w.energy_force(Vec3::new(3.0, 0.0, 1.0), 0);
         assert!((e - 5.0).abs() < 1e-12);
         assert!(f.x < 0.0 && f.y == 0.0 && f.z == 0.0);
@@ -168,7 +175,10 @@ mod tests {
 
     #[test]
     fn wall_force_matches_numeric_gradient() {
-        let w = CylinderWall { radius: 1.5, k: 3.0 };
+        let w = CylinderWall {
+            radius: 1.5,
+            k: 3.0,
+        };
         let p = Vec3::new(1.8, 0.9, 0.4);
         let h = 1e-6;
         let (_, f) = w.energy_force(p, 0);

@@ -105,6 +105,15 @@ impl ForceField {
         &mut self.topology
     }
 
+    /// Pair-kernel work counters; all-zero when there is no non-bonded
+    /// term.
+    pub fn kernel_counters(&self) -> crate::observables::KernelCounters {
+        self.nonbonded
+            .as_ref()
+            .map(NonBonded::kernel_counters)
+            .unwrap_or_default()
+    }
+
     /// Evaluate all terms: zeroes the system's force accumulators first,
     /// then adds every contribution. Returns the energy breakdown.
     pub fn evaluate(&mut self, system: &mut System) -> Energies {
@@ -182,7 +191,10 @@ mod tests {
         assert!((e.total() - 10.0).abs() < 1e-12);
         // Forces: pulled together along x, stale value gone.
         assert!(sys.forces()[0].x > 0.0);
-        assert!((sys.forces()[0] + sys.forces()[1]).norm() < 1e-12, "Newton's third law");
+        assert!(
+            (sys.forces()[0] + sys.forces()[1]).norm() < 1e-12,
+            "Newton's third law"
+        );
     }
 
     #[test]
@@ -200,7 +212,9 @@ mod tests {
         topo.add_angle(0, 1, 2, 2.0, 8.0);
         topo.add_dihedral(0, 1, 2, 3, 2, 0.5, 1.5);
         let mut ff = ForceField::new(topo)
-            .with_nonbonded(NonBonded::new(LjParams::wca(1.0, 0.5), 3.0, 0.5).with_debye_huckel(1.0, 80.0))
+            .with_nonbonded(
+                NonBonded::new(LjParams::wca(1.0, 0.5), 3.0, 0.5).with_debye_huckel(1.0, 80.0),
+            )
             .with_restraint(Restraint::harmonic(3, Vec3::new(2.7, 0.5, 0.1), 5.0));
 
         let e0 = ff.evaluate(&mut sys);

@@ -75,7 +75,10 @@ mod tests {
         let pos = [Vec3::new(2.0, 0.0, 100.0)];
         let mut f = [Vec3::zero()];
         let e = r.add_forces(&pos, &mut f);
-        assert!((e - 4.0).abs() < 1e-12, "z displacement must not contribute");
+        assert!(
+            (e - 4.0).abs() < 1e-12,
+            "z displacement must not contribute"
+        );
         assert_eq!(f[0].z, 0.0);
         assert_eq!(f[0].x, -4.0);
     }

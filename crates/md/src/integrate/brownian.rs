@@ -25,7 +25,10 @@ impl Brownian {
     /// # Panics
     /// Panics unless both arguments are positive.
     pub fn new(temperature: f64, gamma: f64, seed: u64) -> Self {
-        assert!(temperature > 0.0 && gamma > 0.0, "temperature and friction must be positive");
+        assert!(
+            temperature > 0.0 && gamma > 0.0,
+            "temperature and friction must be positive"
+        );
         Brownian {
             temperature,
             gamma,

@@ -55,7 +55,6 @@ impl LangevinBaoab {
     pub fn gamma(&self) -> f64 {
         self.gamma
     }
-
 }
 
 impl Integrator for LangevinBaoab {
@@ -202,7 +201,11 @@ mod tests {
             };
             li.step(&mut sys, 0.005, i, &mut eval);
         }
-        assert!(sys.positions()[0].norm() < 0.05, "should relax to origin: {:?}", sys.positions()[0]);
+        assert!(
+            sys.positions()[0].norm() < 0.05,
+            "should relax to origin: {:?}",
+            sys.positions()[0]
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ mod tests {
             vv.step(&mut sys, 0.002, 500 + i, &mut eval);
         }
         for (a, b) in sys.positions().iter().zip(start.positions()) {
-            assert!((*a - *b).norm() < 1e-8, "not time reversible: {a:?} vs {b:?}");
+            assert!(
+                (*a - *b).norm() < 1e-8,
+                "not time reversible: {a:?} vs {b:?}"
+            );
         }
     }
 

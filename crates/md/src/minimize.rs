@@ -99,8 +99,11 @@ mod tests {
     fn relaxes_into_harmonic_minimum() {
         let mut sys = System::new();
         sys.add_particle(Vec3::new(5.0, -3.0, 2.0), 1.0, 0.0, 0);
-        let mut ff = ForceField::new(Topology::new())
-            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 2.0));
+        let mut ff = ForceField::new(Topology::new()).with_restraint(Restraint::harmonic(
+            0,
+            Vec3::zero(),
+            2.0,
+        ));
         let r = steepest_descent(&mut sys, &mut ff, 500, 1e-4, 0.5);
         assert!(r.converged, "did not converge: {r:?}");
         assert!(sys.positions()[0].norm() < 1e-3);
@@ -115,8 +118,11 @@ mod tests {
         let mut sys = System::new();
         sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
         sys.add_particle(Vec3::new(0.4, 0.1, 0.0), 1.0, 0.0, 0);
-        let mut ff = ForceField::new(Topology::new())
-            .with_nonbonded(NonBonded::new(LjParams::wca(1.0, 1.0), 2.0, 0.3));
+        let mut ff = ForceField::new(Topology::new()).with_nonbonded(NonBonded::new(
+            LjParams::wca(1.0, 1.0),
+            2.0,
+            0.3,
+        ));
         let before = ff.evaluate(&mut sys).total();
         assert!(before > 100.0, "overlap must be catastrophic: {before}");
         let r = steepest_descent(&mut sys, &mut ff, 2000, 1e-3, 0.2);
@@ -133,8 +139,11 @@ mod tests {
     fn converged_system_exits_immediately() {
         let mut sys = System::new();
         sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
-        let mut ff = ForceField::new(Topology::new())
-            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 1.0));
+        let mut ff = ForceField::new(Topology::new()).with_restraint(Restraint::harmonic(
+            0,
+            Vec3::zero(),
+            1.0,
+        ));
         let r = steepest_descent(&mut sys, &mut ff, 100, 1e-6, 0.5);
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
@@ -145,8 +154,11 @@ mod tests {
         let mut sys = System::new();
         sys.add_particle(Vec3::new(1.0, 0.0, 0.0), 1.0, 0.0, 0);
         sys.velocities_mut()[0] = Vec3::new(0.5, 0.5, 0.5);
-        let mut ff = ForceField::new(Topology::new())
-            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 1.0));
+        let mut ff = ForceField::new(Topology::new()).with_restraint(Restraint::harmonic(
+            0,
+            Vec3::zero(),
+            1.0,
+        ));
         steepest_descent(&mut sys, &mut ff, 50, 1e-4, 0.5);
         assert_eq!(sys.velocities()[0], Vec3::new(0.5, 0.5, 0.5));
     }

@@ -29,7 +29,10 @@ impl CellList {
     /// Panics if `cutoff <= 0` or positions are empty or non-finite.
     pub fn bin(positions: &[Vec3], cutoff: f64) -> Self {
         assert!(cutoff > 0.0, "cell list cutoff must be positive");
-        assert!(!positions.is_empty(), "cell list needs at least one particle");
+        assert!(
+            !positions.is_empty(),
+            "cell list needs at least one particle"
+        );
         let mut lo = positions[0];
         let mut hi = positions[0];
         for &p in positions {
@@ -100,7 +103,11 @@ impl CellList {
             self.cell
         );
         let c2 = cutoff * cutoff;
-        let (nx, ny, nz) = (self.dims[0] as isize, self.dims[1] as isize, self.dims[2] as isize);
+        let (nx, ny, nz) = (
+            self.dims[0] as isize,
+            self.dims[1] as isize,
+            self.dims[2] as isize,
+        );
         for cz in 0..nz {
             for cy in 0..ny {
                 for cx in 0..nx {
@@ -180,8 +187,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let u = |k: u64| {
-                    (seed_stream(seed, i as u64 * 3 + k) >> 11) as f64
-                        / (1u64 << 53) as f64
+                    (seed_stream(seed, i as u64 * 3 + k) >> 11) as f64 / (1u64 << 53) as f64
                 };
                 Vec3::new(u(0) * scale, u(1) * scale, u(2) * scale * 2.0)
             })
@@ -213,7 +219,9 @@ mod tests {
     #[test]
     fn collinear_particles() {
         // Degenerate geometry: all on a line (1-cell-thick grid in y, z).
-        let pos: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64 * 0.9, 0.0, 0.0)).collect();
+        let pos: Vec<Vec3> = (0..20)
+            .map(|i| Vec3::new(i as f64 * 0.9, 0.0, 0.0))
+            .collect();
         let cl = sorted_pairs(CellList::build(&pos, 1.0));
         let bf = sorted_pairs(brute_force_pairs(&pos, 1.0));
         assert_eq!(cl, bf);
@@ -239,7 +247,10 @@ mod tests {
         let binned = CellList::bin(&pos, 3.0);
         let mut out = Vec::new();
         binned.collect_pairs(&pos, 2.0, &mut out);
-        assert_eq!(sorted_pairs(out), sorted_pairs(brute_force_pairs(&pos, 2.0)));
+        assert_eq!(
+            sorted_pairs(out),
+            sorted_pairs(brute_force_pairs(&pos, 2.0))
+        );
     }
 
     proptest! {

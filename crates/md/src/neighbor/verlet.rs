@@ -93,7 +93,9 @@ mod tests {
     use crate::neighbor::{brute_force_pairs, sorted_pairs};
 
     fn line(n: usize, spacing: f64) -> Vec<Vec3> {
-        (0..n).map(|i| Vec3::new(i as f64 * spacing, 0.0, 0.0)).collect()
+        (0..n)
+            .map(|i| Vec3::new(i as f64 * spacing, 0.0, 0.0))
+            .collect()
     }
 
     #[test]
@@ -141,9 +143,7 @@ mod tests {
         let within: Vec<_> = vl
             .pairs()
             .iter()
-            .filter(|&&(i, j)| {
-                (pos[i as usize] - pos[j as usize]).norm() <= cutoff
-            })
+            .filter(|&&(i, j)| (pos[i as usize] - pos[j as usize]).norm() <= cutoff)
             .collect();
         assert_eq!(within.len(), 1, "pair now inside cutoff must be in cache");
     }

@@ -5,6 +5,44 @@
 
 use crate::system::System;
 use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative pair-kernel work counters for one simulation: how often the
+/// neighbor list was rebuilt, how many times the non-bonded kernel ran,
+/// and how many (tiered, post-exclusion) pairs it visited in total. These
+/// are the raw numbers behind pairs/sec throughput reporting and make
+/// neighbor-list health visible in run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// Verlet-list rebuilds since the simulation was created.
+    pub neighbor_rebuilds: u64,
+    /// Non-bonded kernel invocations (normally one per step plus one per
+    /// force refresh).
+    pub kernel_invocations: u64,
+    /// Total pairs iterated by the tiered kernel across all invocations.
+    pub pairs_evaluated: u64,
+}
+
+impl KernelCounters {
+    /// Mean pairs visited per kernel invocation; 0 when never invoked.
+    pub fn pairs_per_invocation(&self) -> f64 {
+        if self.kernel_invocations == 0 {
+            0.0
+        } else {
+            self.pairs_evaluated as f64 / self.kernel_invocations as f64
+        }
+    }
+
+    /// Mean kernel invocations between neighbor rebuilds; 0 when the list
+    /// was never rebuilt.
+    pub fn invocations_per_rebuild(&self) -> f64 {
+        if self.neighbor_rebuilds == 0 {
+            0.0
+        } else {
+            self.kernel_invocations as f64 / self.neighbor_rebuilds as f64
+        }
+    }
+}
 
 /// End-to-end distance of an ordered chain of particle indices.
 pub fn end_to_end(system: &System, chain: &[usize]) -> f64 {
@@ -168,6 +206,20 @@ mod tests {
         assert_eq!(bins[1], 2);
         assert_eq!(bins[9], 1);
         assert_eq!(bins.iter().sum::<u32>(), 4, "out-of-range bead excluded");
+    }
+
+    #[test]
+    fn kernel_counter_ratios() {
+        let c = KernelCounters {
+            neighbor_rebuilds: 4,
+            kernel_invocations: 100,
+            pairs_evaluated: 5000,
+        };
+        assert_eq!(c.pairs_per_invocation(), 50.0);
+        assert_eq!(c.invocations_per_rebuild(), 25.0);
+        let zero = KernelCounters::default();
+        assert_eq!(zero.pairs_per_invocation(), 0.0);
+        assert_eq!(zero.invocations_per_rebuild(), 0.0);
     }
 
     #[test]

@@ -59,7 +59,10 @@ mod tests {
         let g = GaussianStream::new(7);
         assert_eq!(g.sample(1, 2), g.sample(1, 2));
         assert_ne!(g.sample(1, 2), g.sample(2, 1));
-        assert_ne!(GaussianStream::new(7).sample(0, 0), GaussianStream::new(8).sample(0, 0));
+        assert_ne!(
+            GaussianStream::new(7).sample(0, 0),
+            GaussianStream::new(8).sample(0, 0)
+        );
     }
 
     #[test]

@@ -215,6 +215,12 @@ impl Simulation {
         &self.force_field
     }
 
+    /// Pair-kernel work counters accumulated since construction (neighbor
+    /// rebuilds, kernel invocations, pairs evaluated).
+    pub fn kernel_counters(&self) -> crate::observables::KernelCounters {
+        self.force_field.kernel_counters()
+    }
+
     /// Most recent force-field energy breakdown.
     pub fn energies(&self) -> Energies {
         self.last_energies
@@ -257,9 +263,17 @@ mod tests {
     fn well_sim(seed: u64) -> Simulation {
         let mut sys = System::new();
         sys.add_particle(Vec3::new(1.0, 0.0, 0.0), 10.0, 0.0, 0);
-        let ff = ForceField::new(Topology::new())
-            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 2.0));
-        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, seed)), 0.01)
+        let ff = ForceField::new(Topology::new()).with_restraint(Restraint::harmonic(
+            0,
+            Vec3::zero(),
+            2.0,
+        ));
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 5.0, seed)),
+            0.01,
+        )
     }
 
     #[test]

@@ -223,11 +223,7 @@ impl System {
     pub fn thermalize_with<F: FnMut(usize, usize) -> f64>(&mut self, t: f64, mut gauss: F) {
         for i in 0..self.len() {
             let s = units::thermal_velocity(self.masses[i], t);
-            self.velocities[i] = Vec3::new(
-                s * gauss(i, 0),
-                s * gauss(i, 1),
-                s * gauss(i, 2),
-            );
+            self.velocities[i] = Vec3::new(s * gauss(i, 0), s * gauss(i, 1), s * gauss(i, 2));
         }
         self.remove_com_velocity();
     }

@@ -127,7 +127,14 @@ impl Topology {
     /// Add a harmonic angle WITHOUT the 1–3 exclusion — coarse-grained
     /// chains keep excluded volume between second neighbours so weak
     /// bending stiffness cannot let the chain self-overlap.
-    pub fn add_angle_keep_nonbonded(&mut self, i: usize, j: usize, k_idx: usize, theta0: f64, k: f64) {
+    pub fn add_angle_keep_nonbonded(
+        &mut self,
+        i: usize,
+        j: usize,
+        k_idx: usize,
+        theta0: f64,
+        k: f64,
+    ) {
         self.angles.push(Angle {
             i,
             j,
@@ -140,7 +147,16 @@ impl Topology {
     /// Add a cosine dihedral `i–j–k–l` (no automatic 1–4 exclusion;
     /// coarse-grained models usually keep 1–4 non-bonded interactions).
     #[allow(clippy::too_many_arguments)]
-    pub fn add_dihedral(&mut self, i: usize, j: usize, k_idx: usize, l: usize, n: u32, delta: f64, k: f64) {
+    pub fn add_dihedral(
+        &mut self,
+        i: usize,
+        j: usize,
+        k_idx: usize,
+        l: usize,
+        n: u32,
+        delta: f64,
+        k: f64,
+    ) {
         self.dihedrals.push(Dihedral {
             i,
             j,
@@ -266,7 +282,10 @@ mod tests {
         t.add_angle(0, 1, 2, 1.9, 5.0);
         t.finalize();
         assert!(t.is_excluded(0, 2));
-        assert!(!t.is_excluded(0, 1), "1-2 exclusion comes from the bond, not the angle");
+        assert!(
+            !t.is_excluded(0, 1),
+            "1-2 exclusion comes from the bond, not the angle"
+        );
     }
 
     #[test]

@@ -108,7 +108,13 @@ pub fn build_dna(
         for w in indices.windows(3) {
             // Keep 1–3 excluded volume: FENE + weak bending would otherwise
             // let the chain collapse onto itself.
-            topology.add_angle_keep_nonbonded(w[0], w[1], w[2], std::f64::consts::PI, params.angle_k);
+            topology.add_angle_keep_nonbonded(
+                w[0],
+                w[1],
+                w[2],
+                std::f64::consts::PI,
+                params.angle_k,
+            );
         }
     }
     indices

@@ -100,7 +100,9 @@ impl PoreGeometry {
             self.constriction_radius + t * (self.vestibule_radius - self.constriction_radius)
         } else {
             // vestibule widening toward the mouth
-            let t = Self::smooth((z - (self.constriction_hi + w)) / (self.cap_hi - self.constriction_hi - w));
+            let t = Self::smooth(
+                (z - (self.constriction_hi + w)) / (self.cap_hi - self.constriction_hi - w),
+            );
             self.vestibule_radius + t * (self.mouth_radius - self.vestibule_radius)
         }
     }

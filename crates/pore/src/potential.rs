@@ -129,11 +129,7 @@ impl ExternalPotential for ConstrictionRing {
         let inv_rho = if rho > 1e-9 { 1.0 / rho } else { 0.0 };
         (
             e,
-            Vec3::new(
-                -du_drho * p.x * inv_rho,
-                -du_drho * p.y * inv_rho,
-                -du_dz,
-            ),
+            Vec3::new(-du_drho * p.x * inv_rho, -du_drho * p.y * inv_rho, -du_dz),
         )
     }
 
@@ -248,7 +244,11 @@ impl ExternalPotential for MembraneSlab {
         // ejects the bead through that face.
         let d_lo = p.z - self.geometry.barrel_lo;
         let d_hi = self.geometry.barrel_hi - p.z;
-        let (d, out_dir) = if d_lo < d_hi { (d_lo, -1.0) } else { (d_hi, 1.0) };
+        let (d, out_dir) = if d_lo < d_hi {
+            (d_lo, -1.0)
+        } else {
+            (d_hi, 1.0)
+        };
         let e = self.k * d * d;
         (e, Vec3::new(0.0, 0.0, 2.0 * self.k * d * out_dir))
     }
@@ -319,8 +319,8 @@ mod tests {
                         pm.z -= h;
                     }
                 }
-                let num =
-                    -(w.energy_force(pp, SPECIES_DNA).0 - w.energy_force(pm, SPECIES_DNA).0) / (2.0 * h);
+                let num = -(w.energy_force(pp, SPECIES_DNA).0 - w.energy_force(pm, SPECIES_DNA).0)
+                    / (2.0 * h);
                 let ana = [f.x, f.y, f.z][ax];
                 assert!(
                     (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
@@ -345,7 +345,10 @@ mod tests {
         let e_at = ring.energy_force(Vec3::new(0.0, 0.0, 53.0), SPECIES_DNA).0;
         let e_away = ring.energy_force(Vec3::new(0.0, 0.0, 70.0), SPECIES_DNA).0;
         assert!(e_at > 0.0, "like charges repel: {e_at}");
-        assert!(e_at > 10.0 * e_away.abs().max(1e-6), "barrier localized: {e_at} vs {e_away}");
+        assert!(
+            e_at > 10.0 * e_away.abs().max(1e-6),
+            "barrier localized: {e_at} vs {e_away}"
+        );
     }
 
     #[test]
@@ -418,11 +421,17 @@ mod tests {
         };
         // Inside the plateau, |U| reaches the amplitude.
         let peak = (0..200)
-            .map(|i| c.energy_force(Vec3::new(0.0, 0.0, 20.0 + i as f64 * 0.1), SPECIES_DNA).0)
+            .map(|i| {
+                c.energy_force(Vec3::new(0.0, 0.0, 20.0 + i as f64 * 0.1), SPECIES_DNA)
+                    .0
+            })
             .fold(f64::NEG_INFINITY, f64::max);
         assert!((peak - 2.0).abs() < 0.05, "peak {peak}");
         // Outside: inert.
-        assert_eq!(c.energy_force(Vec3::new(0.0, 0.0, 60.0), SPECIES_DNA).0, 0.0);
+        assert_eq!(
+            c.energy_force(Vec3::new(0.0, 0.0, 60.0), SPECIES_DNA).0,
+            0.0
+        );
         assert_eq!(c.energy_force(Vec3::new(0.0, 0.0, 20.0), 0).0, 0.0);
     }
 
@@ -442,15 +451,25 @@ mod tests {
             let ep = c.energy_force(Vec3::new(0.3, -0.2, z + h), SPECIES_DNA).0;
             let em = c.energy_force(Vec3::new(0.3, -0.2, z - h), SPECIES_DNA).0;
             let num = -(ep - em) / (2.0 * h);
-            assert!((num - f.z).abs() < 1e-4 * (1.0 + f.z.abs()), "z={z}: {num} vs {}", f.z);
+            assert!(
+                (num - f.z).abs() < 1e-4 * (1.0 + f.z.abs()),
+                "z={z}: {num} vs {}",
+                f.z
+            );
         }
     }
 
     #[test]
     fn membrane_inert_inside_lumen_and_outside_span() {
         let m = MembraneSlab::new(geom(), 20.0);
-        assert_eq!(m.energy_force(Vec3::new(0.0, 0.0, 25.0), SPECIES_DNA).0, 0.0);
-        assert_eq!(m.energy_force(Vec3::new(50.0, 0.0, 75.0), SPECIES_DNA).0, 0.0);
+        assert_eq!(
+            m.energy_force(Vec3::new(0.0, 0.0, 25.0), SPECIES_DNA).0,
+            0.0
+        );
+        assert_eq!(
+            m.energy_force(Vec3::new(50.0, 0.0, 75.0), SPECIES_DNA).0,
+            0.0
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! onto federated resources is modeled separately by `spice-gridsim`.
 
 use crate::protocol::PullProtocol;
-use crate::runner::run_pull;
+use crate::runner::{anchor_and_hold, pull_from, run_pull};
 use crate::work::WorkTrajectory;
 use rayon::prelude::*;
+use spice_md::checkpoint::Snapshot;
 use spice_md::{MdError, Simulation};
 use spice_stats::rng::SeedSequence;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +63,93 @@ where
             what: format!("realization {i} (seed {seed}) panicked"),
         })
     })
+}
+
+/// Run `n` realizations of `protocol`, amortizing equilibration via
+/// checkpoint/clone (§III: "checkpoint and cloning of simulations ...
+/// without perturbing the original simulation").
+///
+/// Instead of equilibrating every realization from scratch (as
+/// [`run_ensemble`] does through [`run_pull`]), this equilibrates *once*:
+/// a master simulation runs the full `protocol.equilibration_steps` hold,
+/// is captured as a [`Snapshot`], and each realization is forked from
+/// that snapshot with a fresh thermostat seed (`seeds.stream(i)`). Because
+/// the Langevin noise is keyed on `(seed, step)`, the clones diverge
+/// immediately; `decorrelation_steps` additional held steps per clone wash
+/// out the correlated starting configuration before the pull begins.
+///
+/// The saved work is `(n - 1) · equilibration_steps` minus
+/// `n · decorrelation_steps` — a large win whenever decorrelation is much
+/// shorter than equilibration (a few thermostat relaxation times `1/γ`
+/// suffice for velocity decorrelation; positions decorrelate over the
+/// slowest restrained mode).
+///
+/// Statistical caveat: clones share the master's equilibrated
+/// configuration, so with too few decorrelation steps the realizations are
+/// *correlated* samples of the initial Boltzmann ensemble and the work
+/// variance is underestimated. Choose `decorrelation_steps` of at least a
+/// few `1/(γ·dt)` steps; the equivalence test below checks mean *and*
+/// spread against the independent path.
+///
+/// If the shared equilibration itself fails, every realization slot gets
+/// an error describing that single failure (errors are not `Clone`, so
+/// each slot carries a freshly formatted copy).
+pub fn run_ensemble_cloned<F>(
+    factory: F,
+    protocol: &PullProtocol,
+    n: usize,
+    seeds: SeedSequence,
+    decorrelation_steps: u64,
+) -> Vec<Result<WorkTrajectory, MdError>>
+where
+    F: Fn(u64) -> Simulation + Sync,
+{
+    protocol.validate();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Shared equilibration: one master hold, seeded off-stream so it can
+    // never collide with a realization seed (streams are indexed 0..n) or
+    // the pipeline's bootstrap stream (u64::MAX on the *parent* sequence).
+    let master_seed = seeds.child(u64::MAX).stream(0);
+    let master = (|| -> Result<Snapshot, MdError> {
+        let mut sim = factory(master_seed);
+        anchor_and_hold(&mut sim, protocol, protocol.equilibration_steps)?;
+        Ok(Snapshot::capture(&sim, "shared-equilibration"))
+    })();
+    let snap = match master {
+        Ok(snap) => snap,
+        Err(e) => {
+            let msg = format!("shared equilibration failed: {e}");
+            return (0..n)
+                .map(|_| Err(MdError::Checkpoint(msg.clone())))
+                .collect();
+        }
+    };
+
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let seed = seeds.stream(i as u64);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Fresh thermostat seed + restored state = divergent clone.
+                let mut sim = factory(seed);
+                snap.restore(&mut sim)?;
+                // Post-clone decorrelation: held spring, new noise stream.
+                // The hold re-anchors at the clone's current COM, and the
+                // pull starts from that same anchor — the same
+                // hold-then-pull continuity run_pull has.
+                let com0 = anchor_and_hold(&mut sim, protocol, decorrelation_steps)?;
+                pull_from(&mut sim, protocol, seed, com0).map(|o| o.trajectory)
+            }))
+            .unwrap_or_else(|_| {
+                Err(MdError::NumericalBlowup {
+                    step: 0,
+                    what: format!("cloned realization {i} (seed {seed}) panicked"),
+                })
+            })
+        })
+        .collect()
 }
 
 /// Keep only the successful realizations (logging-free convenience).
@@ -155,13 +243,8 @@ mod tests {
     #[test]
     fn progress_counter_reaches_n() {
         let progress = AtomicUsize::new(0);
-        let results = run_ensemble_with_progress(
-            factory,
-            &proto(),
-            5,
-            SeedSequence::new(4),
-            &progress,
-        );
+        let results =
+            run_ensemble_with_progress(factory, &proto(), 5, SeedSequence::new(4), &progress);
         assert_eq!(results.len(), 5);
         assert_eq!(progress.load(Ordering::Relaxed), 5);
     }
@@ -173,5 +256,88 @@ mod tests {
         let wa: Vec<f64> = a.iter().map(|t| t.final_work()).collect();
         let wb: Vec<f64> = b.iter().map(|t| t.final_work()).collect();
         assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn cloned_ensemble_is_deterministic() {
+        let run = || {
+            successes(run_ensemble_cloned(
+                factory,
+                &proto(),
+                5,
+                SeedSequence::new(11),
+                40,
+            ))
+            .iter()
+            .map(|t| t.final_work())
+            .collect::<Vec<f64>>()
+        };
+        let a = run();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn cloned_realizations_diverge_by_seed() {
+        let trajs = successes(run_ensemble_cloned(
+            factory,
+            &proto(),
+            5,
+            SeedSequence::new(12),
+            40,
+        ));
+        assert_eq!(trajs.len(), 5);
+        let seeds = SeedSequence::new(12);
+        let works: Vec<f64> = trajs.iter().map(|t| t.final_work()).collect();
+        for (i, t) in trajs.iter().enumerate() {
+            assert_eq!(t.seed, seeds.stream(i as u64), "seed provenance");
+            assert!(t.is_well_formed());
+        }
+        for i in 0..works.len() {
+            for j in (i + 1)..works.len() {
+                assert_ne!(works[i], works[j], "clones must diverge by seed");
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_zero_realizations_is_empty() {
+        let out = run_ensemble_cloned(factory, &proto(), 0, SeedSequence::new(1), 10);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cloned_work_distribution_matches_independent_ensemble() {
+        // Statistical equivalence: for the harmonic test system, work
+        // mean and spread from cloned starts (with decorrelation) must
+        // agree with fully independent equilibrations within the
+        // finite-sample scatter of n = 24 realizations.
+        let n = 24;
+        let indep = successes(run_ensemble(factory, &proto(), n, SeedSequence::new(21)));
+        let cloned = successes(run_ensemble_cloned(
+            factory,
+            &proto(),
+            n,
+            SeedSequence::new(22),
+            60, // ≳ a few thermostat relaxation times: 1/(γ·dt) = 10 steps
+        ));
+        assert_eq!(indep.len(), n);
+        assert_eq!(cloned.len(), n);
+        let wi: Vec<f64> = indep.iter().map(|t| t.final_work()).collect();
+        let wc: Vec<f64> = cloned.iter().map(|t| t.final_work()).collect();
+        let (mi, mc) = (spice_stats::mean(&wi), spice_stats::mean(&wc));
+        let (si, sc) = (spice_stats::std_dev(&wi), spice_stats::std_dev(&wc));
+        // Means within ~2 standard errors of each other.
+        let se = (si * si / n as f64 + sc * sc / n as f64).sqrt();
+        assert!(
+            (mi - mc).abs() < 3.0 * se.max(0.05),
+            "cloned mean {mc} vs independent mean {mi} (se {se})"
+        );
+        // Spreads within a factor ~2.5 (χ² scatter at n = 24 is ~±35%);
+        // a collapsed spread would flag correlated starts.
+        assert!(
+            sc > si / 2.5 && sc < si * 2.5,
+            "cloned spread {sc} vs independent spread {si}"
+        );
     }
 }

@@ -15,6 +15,25 @@ pub struct PullOutcome {
     pub steps: u64,
 }
 
+/// Phase 1 of a pull, exposed for ensemble clone-amortization: anchor a
+/// static spring at the steered group's current COM (v = 0: the guide
+/// holds still) and integrate `steps` steps. Returns the anchor COM —
+/// the guide's starting position for a subsequent [`pull_from`].
+pub fn anchor_and_hold(
+    sim: &mut Simulation,
+    protocol: &PullProtocol,
+    steps: u64,
+) -> Result<f64, MdError> {
+    let group = sim.force_field().topology().group("smd")?.to_vec();
+    let masses = sim.system().masses().to_vec();
+    let hold = SmdSpring::new(group.clone(), &masses, protocol.kappa(), 0.0, 0.0, 0.0);
+    let com = hold.com_z(sim.system().positions());
+    let hold = SmdSpring::new(group, &masses, protocol.kappa(), 0.0, com, 0.0);
+    sim.set_bias(Some(Box::new(hold)));
+    sim.run(steps, &mut [])?;
+    Ok(com)
+}
+
 /// Run one constant-velocity pull on `sim`, steering the group named
 /// `"smd"` in the simulation's topology.
 ///
@@ -34,30 +53,28 @@ pub fn run_pull(
     seed: u64,
 ) -> Result<PullOutcome, MdError> {
     protocol.validate();
+    // Phase 1: hold the spring static at the current COM.
+    let com0 = anchor_and_hold(sim, protocol, protocol.equilibration_steps)?;
+    let mut out = pull_from(sim, protocol, seed, com0)?;
+    out.steps += protocol.equilibration_steps;
+    Ok(out)
+}
+
+/// Phase 2 of a pull, exposed for ensemble clone-amortization: pull the
+/// guide at constant v starting from anchor `com0` (the guide starts
+/// where the system actually is, as in NAMD's SMDk restart convention)
+/// and record the work integral. `PullOutcome::steps` counts only the
+/// pull steps — callers add whatever hold/equilibration they performed.
+pub fn pull_from(
+    sim: &mut Simulation,
+    protocol: &PullProtocol,
+    seed: u64,
+    com0: f64,
+) -> Result<PullOutcome, MdError> {
     let group = sim.force_field().topology().group("smd")?.to_vec();
     let masses = sim.system().masses().to_vec();
-
-    // Phase 1: hold the spring static at the current COM.
-    let com0 = {
-        let hold = SmdSpring::new(
-            group.clone(),
-            &masses,
-            protocol.kappa(),
-            0.0,
-            0.0,
-            0.0,
-        );
-        let com = hold.com_z(sim.system().positions());
-        let hold = SmdSpring::new(group.clone(), &masses, protocol.kappa(), 0.0, com, 0.0);
-        sim.set_bias(Some(Box::new(hold)));
-        sim.run(protocol.equilibration_steps, &mut [])?;
-        com
-    };
-    // Re-anchor at the equilibrated COM (the guide starts where the system
-    // actually is, as in NAMD's SMDk restart convention).
-    let _ = com0;
     let spring = SmdSpring::new(
-        group.clone(),
+        group,
         &masses,
         protocol.kappa(),
         protocol.velocity(),
@@ -73,7 +90,8 @@ pub fn run_pull(
     let v = protocol.velocity();
     let mut work = 0.0;
     let mut prev_force = probe.spring_force(sim.system().positions(), sim.time_ps());
-    let mut samples = Vec::with_capacity((protocol.pull_steps() / protocol.sample_stride) as usize + 2);
+    let mut samples =
+        Vec::with_capacity((protocol.pull_steps() / protocol.sample_stride) as usize + 2);
     samples.push(WorkSample {
         t_ps: 0.0,
         guide_disp: 0.0,
@@ -115,7 +133,7 @@ pub fn run_pull(
             seed,
             samples,
         },
-        steps: protocol.equilibration_steps + nsteps,
+        steps: nsteps,
     })
 }
 
@@ -160,7 +178,12 @@ mod tests {
         let mut topo = Topology::new();
         topo.set_group("smd", vec![0]);
         let ff = ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), a));
-        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, seed)), 0.02)
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 5.0, seed)),
+            0.02,
+        )
     }
 
     fn quick_protocol() -> PullProtocol {
@@ -180,7 +203,11 @@ mod tests {
         let out = run_pull(&mut sim, &quick_protocol(), 1).unwrap();
         let t = &out.trajectory;
         assert!(t.is_well_formed());
-        assert!((t.guide_span() - 4.0).abs() < 0.1, "span {}", t.guide_span());
+        assert!(
+            (t.guide_span() - 4.0).abs() < 0.1,
+            "span {}",
+            t.guide_span()
+        );
         assert!(t.samples.len() > 10);
         assert_eq!(t.kappa_pn_per_a, 200.0);
     }
@@ -238,7 +265,10 @@ mod tests {
                     let mut proto = quick_protocol();
                     proto.v_a_per_ns = v;
                     proto.pull_distance = 3.0;
-                    run_pull(&mut sim, &proto, seed).unwrap().trajectory.final_work()
+                    run_pull(&mut sim, &proto, seed)
+                        .unwrap()
+                        .trajectory
+                        .final_work()
                 })
                 .collect();
             spice_stats::mean(&works)
@@ -256,12 +286,7 @@ mod tests {
         let mut sys = System::new();
         sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
         let ff = ForceField::new(Topology::new());
-        let mut sim = Simulation::new(
-            sys,
-            ff,
-            Box::new(LangevinBaoab::new(300.0, 1.0, 0)),
-            0.01,
-        );
+        let mut sim = Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 1.0, 0)), 0.01);
         assert!(run_pull(&mut sim, &quick_protocol(), 0).is_err());
     }
 
@@ -292,7 +317,12 @@ mod tests {
         let mut rev = Vec::new();
         for seed in 0..8 {
             let mut s1 = well_sim(200 + seed, a);
-            fwd.push(run_pull(&mut s1, &proto, seed).unwrap().trajectory.final_work());
+            fwd.push(
+                run_pull(&mut s1, &proto, seed)
+                    .unwrap()
+                    .trajectory
+                    .final_work(),
+            );
             let mut s2 = well_sim(300 + seed, a);
             rev.push(
                 run_reverse_pull(&mut s2, &proto, seed)

@@ -63,16 +63,13 @@ impl WorkTrajectory {
     /// monotone non-decreasing.
     pub fn is_well_formed(&self) -> bool {
         self.samples.windows(2).all(|w| {
-            w[1].t_ps >= w[0].t_ps && (w[1].guide_disp - w[0].guide_disp) * self.v_a_per_ns.signum() >= -1e-12
+            w[1].t_ps >= w[0].t_ps
+                && (w[1].guide_disp - w[0].guide_disp) * self.v_a_per_ns.signum() >= -1e-12
         })
     }
 }
 
-fn interpolate(
-    samples: &[WorkSample],
-    s: f64,
-    f: impl Fn(&WorkSample) -> f64,
-) -> Option<f64> {
+fn interpolate(samples: &[WorkSample], s: f64, f: impl Fn(&WorkSample) -> f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }

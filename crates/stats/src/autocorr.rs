@@ -23,7 +23,10 @@ pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
     let kmax = max_lag.min(n - 1);
     let mut rho = Vec::with_capacity(kmax + 1);
     for k in 0..=kmax {
-        let ck: f64 = (0..n - k).map(|i| (xs[i] - m) * (xs[i + k] - m)).sum::<f64>() / n as f64;
+        let ck: f64 = (0..n - k)
+            .map(|i| (xs[i] - m) * (xs[i + k] - m))
+            .sum::<f64>()
+            / n as f64;
         rho.push(ck / c0);
     }
     rho
@@ -49,8 +52,10 @@ pub fn integrated_autocorr_time(xs: &[f64]) -> f64 {
     }
     let mut tau = 0.5;
     for k in 1..n {
-        let ck: f64 =
-            (0..n - k).map(|i| (xs[i] - m) * (xs[i + k] - m)).sum::<f64>() / n as f64;
+        let ck: f64 = (0..n - k)
+            .map(|i| (xs[i] - m) * (xs[i + k] - m))
+            .sum::<f64>()
+            / n as f64;
         let rho = ck / c0;
         if rho < 0.0 {
             break;

@@ -260,14 +260,19 @@ mod tests {
 
     #[test]
     fn running_stats_matches_batch() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0)
+            .collect();
         let mut rs = RunningStats::new();
         rs.extend(&xs);
         assert!((rs.mean() - mean(&xs)).abs() < 1e-12);
         assert!((rs.variance() - variance(&xs)).abs() < 1e-10);
         assert_eq!(rs.count(), 100);
         assert_eq!(rs.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
-        assert_eq!(rs.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        assert_eq!(
+            rs.max(),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
     }
 
     #[test]

@@ -130,7 +130,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram lo mismatch");
         assert_eq!(self.hi, other.hi, "histogram hi mismatch");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram bin mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram bin mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

@@ -109,6 +109,9 @@ mod tests {
 
     #[test]
     fn zero_total_weight_is_neg_inf() {
-        assert_eq!(log_sum_exp_weighted(&[1.0, 2.0], &[0.0, 0.0]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp_weighted(&[1.0, 2.0], &[0.0, 0.0]),
+            f64::NEG_INFINITY
+        );
     }
 }

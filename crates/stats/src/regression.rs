@@ -37,7 +37,11 @@ impl LinearFit {
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
         let syy: f64 = ys.iter().map(|&y| (y - my) * (y - my)).sum();
-        let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
         Some(LinearFit {
             slope,
             intercept,

@@ -52,11 +52,7 @@ impl<'a> Bootstrap<'a> {
 
     /// Percentile confidence interval `(lo, hi)` at the given level
     /// (e.g. 0.95 → 2.5th and 97.5th percentiles of the replicates).
-    pub fn confidence_interval<F: Fn(&[f64]) -> f64>(
-        &mut self,
-        stat: F,
-        level: f64,
-    ) -> (f64, f64) {
+    pub fn confidence_interval<F: Fn(&[f64]) -> f64>(&mut self, stat: F, level: f64) -> (f64, f64) {
         let reps = self.replicates(stat);
         let alpha = (1.0 - level) / 2.0;
         (
@@ -116,7 +112,9 @@ mod tests {
     use crate::descriptive::{mean, std_error};
 
     fn sample() -> Vec<f64> {
-        (0..200).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 100.0).collect()
+        (0..200)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 100.0)
+            .collect()
     }
 
     #[test]

@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(seed_stream(1, 2), seed_stream(1, 2));
-        assert_eq!(SeedSequence::new(9).child(3).stream(4), SeedSequence::new(9).child(3).stream(4));
+        assert_eq!(
+            SeedSequence::new(9).child(3).stream(4),
+            SeedSequence::new(9).child(3).stream(4)
+        );
     }
 
     #[test]
@@ -82,7 +85,10 @@ mod tests {
         let mut seen = HashSet::new();
         for master in 0..8u64 {
             for idx in 0..1000u64 {
-                assert!(seen.insert(seed_stream(master, idx)), "collision at ({master},{idx})");
+                assert!(
+                    seen.insert(seed_stream(master, idx)),
+                    "collision at ({master},{idx})"
+                );
             }
         }
     }

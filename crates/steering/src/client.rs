@@ -29,17 +29,23 @@ impl SteeringClient {
 
     /// Pause the simulation at its next emit point.
     pub fn pause(&self) {
-        self.service.lock().send_control(self.sim, ControlMessage::Pause);
+        self.service
+            .lock()
+            .send_control(self.sim, ControlMessage::Pause);
     }
 
     /// Resume a paused simulation.
     pub fn resume(&self) {
-        self.service.lock().send_control(self.sim, ControlMessage::Resume);
+        self.service
+            .lock()
+            .send_control(self.sim, ControlMessage::Resume);
     }
 
     /// Stop the simulation cleanly.
     pub fn stop(&self) {
-        self.service.lock().send_control(self.sim, ControlMessage::Stop);
+        self.service
+            .lock()
+            .send_control(self.sim, ControlMessage::Stop);
     }
 
     /// Change a steerable parameter.
@@ -119,9 +125,17 @@ mod tests {
     fn make_sim(seed: u64) -> Simulation {
         let mut sys = System::new();
         sys.add_particle(Vec3::new(1.0, 0.0, 0.0), 10.0, 0.0, 0);
-        let ff = ForceField::new(Topology::new())
-            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 1.0));
-        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+        let ff = ForceField::new(Topology::new()).with_restraint(Restraint::harmonic(
+            0,
+            Vec3::zero(),
+            1.0,
+        ));
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 2.0, seed)),
+            0.01,
+        )
     }
 
     #[test]

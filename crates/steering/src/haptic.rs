@@ -86,7 +86,7 @@ mod tests {
     fn force_proportional_to_displacement() {
         let mut d = HapticDevice::phantom();
         let f = d.render(10.0, 8.0); // hand 2 Å above COM
-        // 50 pN/Å × 2 Å = 100 pN upward.
+                                     // 50 pN/Å × 2 Å = 100 pN upward.
         let expected = units::spring_pn_per_a_to_kcal(1.0) * 100.0;
         assert!((f.z - expected).abs() < 1e-12);
         assert!(!d.saturated());

@@ -139,9 +139,7 @@ impl GridService {
         let targets: Vec<ComponentId> = self
             .kinds
             .iter()
-            .filter(|(_, k)| {
-                matches!(k, ComponentKind::Visualizer | ComponentKind::SteeringClient)
-            })
+            .filter(|(_, k)| matches!(k, ComponentKind::Visualizer | ComponentKind::SteeringClient))
             .map(|(&id, _)| id)
             .collect();
         for id in targets {
@@ -245,7 +243,10 @@ mod tests {
         s.publish_frame(&frame);
         assert_eq!(s.next_frame(vis).unwrap().step, 10);
         assert_eq!(s.next_frame(cli).unwrap().step, 10);
-        assert!(s.next_frame(sim).is_none(), "simulations do not receive frames");
+        assert!(
+            s.next_frame(sim).is_none(),
+            "simulations do not receive frames"
+        );
         assert!(s.next_frame(vis).is_none(), "one frame per publish");
     }
 

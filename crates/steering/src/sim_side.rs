@@ -196,7 +196,12 @@ mod tests {
         for i in 0..3 {
             ff = ff.with_restraint(Restraint::harmonic(i, Vec3::new(i as f64, 0.0, 0.0), 1.0));
         }
-        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 2.0, seed)),
+            0.01,
+        )
     }
 
     #[test]
@@ -218,7 +223,9 @@ mod tests {
     fn stop_message_halts_run() {
         let service = GridService::shared();
         let mut hook = SteeringHook::attach(service.clone(), 5, vec![]);
-        service.lock().send_control(hook.component_id(), ControlMessage::Stop);
+        service
+            .lock()
+            .send_control(hook.component_id(), ControlMessage::Stop);
         let mut sim = make_sim(2);
         let done = sim.run(100, &mut [&mut hook]).unwrap();
         assert_eq!(done, 5, "stopped at the first emit point");
@@ -285,7 +292,9 @@ mod tests {
         let service = GridService::shared();
         let mut hook = SteeringHook::attach(service.clone(), 5, vec![]);
         hook.pause_poll_limit = Some(3);
-        service.lock().send_control(hook.component_id(), ControlMessage::Pause);
+        service
+            .lock()
+            .send_control(hook.component_id(), ControlMessage::Pause);
         let mut sim = make_sim(6);
         let done = sim.run(20, &mut [&mut hook]).unwrap();
         assert_eq!(done, 20, "poll-limited pause must not hang the run");

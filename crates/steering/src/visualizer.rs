@@ -98,9 +98,17 @@ mod tests {
     fn make_sim(seed: u64) -> Simulation {
         let mut sys = System::new();
         sys.add_particle(Vec3::zero(), 10.0, 0.0, 0);
-        let ff = ForceField::new(Topology::new())
-            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 0.5));
-        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 2.0, seed)), 0.01)
+        let ff = ForceField::new(Topology::new()).with_restraint(Restraint::harmonic(
+            0,
+            Vec3::zero(),
+            0.5,
+        ));
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 2.0, seed)),
+            0.01,
+        )
     }
 
     #[test]

@@ -38,15 +38,15 @@ fn main() {
         let mut c = Campaign::paper_batch_phase(7);
         c.federation = fed.restricted(&keep);
         let r = c.run();
-        let names: Vec<&str> = keep
-            .iter()
-            .map(|&id| fed.site(id).name.as_str())
-            .collect();
+        let names: Vec<&str> = keep.iter().map(|&id| fed.site(id).name.as_str()).collect();
         println!(
             "  {:<44} {:>6.1} days ({:>5.0} CPU-h wasted waiting)",
             names.join("+"),
             r.makespan_days(),
-            r.records.iter().map(|j| j.wait() * j.procs as f64).sum::<f64>()
+            r.records
+                .iter()
+                .map(|j| j.wait() * j.procs as f64)
+                .sum::<f64>()
         );
     }
 }

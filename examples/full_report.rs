@@ -19,4 +19,16 @@ fn main() {
     for report in experiments::run_all(scale, 20050512) {
         println!("{}", report.render());
     }
+
+    // Pair-kernel work accounting for the standard system (the raw
+    // numbers behind the BENCH_md_engine.json throughput figures).
+    let mut sim = spice::core::pipeline::pore_simulation(scale, 1);
+    sim.run(500, &mut []).expect("counter probe run");
+    let c = sim.kernel_counters();
+    println!("## Kernel counters (standard pore system, 500 steps)\n");
+    println!("- neighbor rebuilds: {}", c.neighbor_rebuilds);
+    println!("- kernel invocations: {}", c.kernel_invocations);
+    println!("- pairs evaluated: {}", c.pairs_evaluated);
+    println!("- pairs/invocation: {:.1}", c.pairs_per_invocation());
+    println!("- invocations/rebuild: {:.1}", c.invocations_per_rebuild());
 }

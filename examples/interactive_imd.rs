@@ -34,7 +34,10 @@ fn main() {
     let device = vis.haptic.as_ref().expect("haptic");
     println!("  frames emitted:   {}", hook.frames_emitted());
     println!("  forces applied:   {}", hook.forces_applied());
-    println!("  peak force felt:  {:.0} pN", device.max_observed_force_pn());
+    println!(
+        "  peak force felt:  {:.0} pN",
+        device.max_observed_force_pn()
+    );
     println!(
         "  lead bead moved:  {:.2} Å (from {:.1})",
         sim.system().positions()[lead].z - z0,

@@ -43,7 +43,10 @@ fn main() {
     .collect();
     println!("completed {} realizations", trajectories.len());
     for (i, t) in trajectories.iter().enumerate().take(4) {
-        println!("  realization {i}: final work = {:.2} kcal/mol", t.final_work());
+        println!(
+            "  realization {i}: final work = {:.2} kcal/mol",
+            t.final_work()
+        );
     }
 
     // 4. Jarzynski: non-equilibrium work → equilibrium free energy.
@@ -51,7 +54,10 @@ fn main() {
     let mw = PmfCurve::estimate(&trajectories, 4.0, 9, KT_300, Estimator::MeanWork);
     println!("\n  s (Å)    Φ_JE (kcal/mol)   ⟨W⟩ (kcal/mol)");
     for (p, w) in pmf.points.iter().zip(&mw.points) {
-        println!("  {:5.2}    {:>10.3}       {:>10.3}", p.guide_disp, p.phi, w.phi);
+        println!(
+            "  {:5.2}    {:>10.3}       {:>10.3}",
+            p.guide_disp, p.phi, w.phi
+        );
     }
     println!(
         "\nJensen check: Φ_JE ≤ ⟨W⟩ everywhere: {}",

@@ -10,5 +10,8 @@ use spice::core::experiments::{fig1_system, fig3_translocation};
 
 fn main() {
     println!("{}", fig1_system::run(Scale::Test, 20050512).render());
-    println!("{}", fig3_translocation::run(Scale::Test, 20050512).render());
+    println!(
+        "{}",
+        fig3_translocation::run(Scale::Test, 20050512).render()
+    );
 }

@@ -12,7 +12,10 @@ use spice::gridsim::trace::{gantt, job_listing};
 #[test]
 fn capacity_never_violated_at_any_instant() {
     let c = Campaign::paper_batch_phase(13);
-    for result in [c.run(), run_des_with_policy(&c, DispatchPolicy::EarliestCompletion)] {
+    for result in [
+        c.run(),
+        run_des_with_policy(&c, DispatchPolicy::EarliestCompletion),
+    ] {
         for site in &c.federation.sites {
             // Event points: every start/finish on this site.
             let mut events: Vec<f64> = result
@@ -66,5 +69,9 @@ fn round_robin_spreads_widely() {
     let des = run_des_with_policy(&c, DispatchPolicy::RoundRobin);
     assert_eq!(des.records.len(), 72, "all jobs placed");
     let used = des.jobs_per_site.iter().filter(|&&(_, n)| n > 0).count();
-    assert!(used >= 4, "round-robin too concentrated: {:?}", des.jobs_per_site);
+    assert!(
+        used >= 4,
+        "round-robin too concentrated: {:?}",
+        des.jobs_per_site
+    );
 }

@@ -15,7 +15,9 @@ fn checkpoint_survives_disk_roundtrip_and_resumes_exactly() {
     // Run, checkpoint to disk, keep running → trajectory A.
     let mut original = pore_simulation(Scale::Test, 77);
     original.run(120, &mut []).unwrap();
-    Snapshot::capture(&original, "mid-campaign").save(&path).unwrap();
+    Snapshot::capture(&original, "mid-campaign")
+        .save(&path)
+        .unwrap();
     original.run(200, &mut []).unwrap();
     let final_a = original.system().positions().to_vec();
 

@@ -23,7 +23,12 @@ fn factory(seed: u64) -> Simulation {
     let mut topo = Topology::new();
     topo.set_group("smd", vec![0]);
     let ff = ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), A));
-    Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, seed)), 0.02)
+    Simulation::new(
+        sys,
+        ff,
+        Box::new(LangevinBaoab::new(300.0, 5.0, seed)),
+        0.02,
+    )
 }
 
 fn protocol() -> PullProtocol {

@@ -63,7 +63,10 @@ fn full_experiment_suite_regenerates_every_artifact() {
         .trim_end_matches('×')
         .parse()
         .unwrap();
-    assert!(contrast > 1.0, "stretching must localize at the constriction");
+    assert!(
+        contrast > 1.0,
+        "stretching must localize at the constriction"
+    );
 }
 
 #[test]
@@ -71,6 +74,11 @@ fn experiment_suite_is_deterministic() {
     let a = experiments::run_all(Scale::Test, 7);
     let b = experiments::run_all(Scale::Test, 7);
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.render(), y.render(), "experiment {} not deterministic", x.id);
+        assert_eq!(
+            x.render(),
+            y.render(),
+            "experiment {} not deterministic",
+            x.id
+        );
     }
 }

@@ -125,8 +125,11 @@ fn nve_energy_conservation_lj_cluster() {
             );
         }
     }
-    let mut ff = ForceField::new(Topology::new())
-        .with_nonbonded(NonBonded::new(LjParams::lj(1.0, 0.3), 2.6, 0.4));
+    let mut ff = ForceField::new(Topology::new()).with_nonbonded(NonBonded::new(
+        LjParams::lj(1.0, 0.3),
+        2.6,
+        0.4,
+    ));
     // Minimize first so the start is a bound cluster, then kick gently.
     steepest_descent(&mut sys, &mut ff, 2000, 1e-3, 0.1);
     for (i, v) in sys.velocities_mut().iter_mut().enumerate() {

@@ -11,7 +11,10 @@ fn three_phase_workflow_end_to_end() {
     // parameters over which we will try to find the optimal value".
     let priming = run_priming(Scale::Test, 31);
     let (k_lo, k_hi) = priming.kappa_range_pn_per_a;
-    assert!(k_lo < 100.0 && 100.0 < k_hi, "priming must bracket the eventual optimum");
+    assert!(
+        k_lo < 100.0 && 100.0 < k_hi,
+        "priming must bracket the eventual optimum"
+    );
 
     // Phase 2: interactive — forces and constraints from live steering.
     let interactive = run_interactive(Scale::Test, 32);
@@ -22,8 +25,14 @@ fn three_phase_workflow_end_to_end() {
     // federated campaign record.
     let batch = run_batch(Scale::Test, 33);
     let s = batch.summary();
-    assert!(s.under_a_week, "batch phase must finish under a simulated week");
-    assert!(s.single_site_days > 7.0, "the single-site counterfactual exceeds a week");
+    assert!(
+        s.under_a_week,
+        "batch phase must finish under a simulated week"
+    );
+    assert!(
+        s.single_site_days > 7.0,
+        "the single-site counterfactual exceeds a week"
+    );
     assert!(!batch.pmf.curve.points.is_empty());
     assert_eq!(batch.pmf.kappa_pn_per_a, 100.0);
     assert_eq!(batch.pmf.v_label, 12.5);

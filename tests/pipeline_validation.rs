@@ -23,7 +23,12 @@ fn well_factory(a: f64) -> impl Fn(u64) -> Simulation + Sync {
         let mut topo = Topology::new();
         topo.set_group("smd", vec![0]);
         let ff = ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), a));
-        Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, seed)), 0.02)
+        Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(300.0, 5.0, seed)),
+            0.02,
+        )
     }
 }
 
@@ -102,7 +107,14 @@ fn fast_pulls_overestimate_the_pmf() {
 fn ti_matches_je_on_harmonic_well() {
     let a = 0.4;
     let span = 2.0;
-    let ti = ti_profile(well_factory(a), Scale::Test, span, 5, 500.0, SeedSequence::new(5));
+    let ti = ti_profile(
+        well_factory(a),
+        Scale::Test,
+        span,
+        5,
+        500.0,
+        SeedSequence::new(5),
+    );
     let reference = harmonic_pmf(a);
     for &(s, phi) in &ti.profile {
         let expected = reference(s);

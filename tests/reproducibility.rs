@@ -34,7 +34,10 @@ fn ensemble_identical_across_pool_sizes() {
     };
     let serial = run_with(1);
     let parallel = run_with(4);
-    assert_eq!(serial, parallel, "work values must not depend on scheduling");
+    assert_eq!(
+        serial, parallel,
+        "work values must not depend on scheduling"
+    );
     assert_eq!(serial.len(), 6);
 }
 

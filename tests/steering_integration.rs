@@ -68,7 +68,10 @@ fn haptic_device_measures_forces_through_full_stack() {
     let z0 = sim.system().positions()[lead].z;
     for b in 0..15 {
         sim.run(10, &mut [&mut hook]).unwrap();
-        while vis.steer_with_haptic(&[lead], z0 + b as f64 * 0.5).is_some() {}
+        while vis
+            .steer_with_haptic(&[lead], z0 + b as f64 * 0.5)
+            .is_some()
+        {}
     }
     let device = vis.haptic.as_ref().unwrap();
     assert!(device.render_count() > 0);

@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`: the macro/type surface the bench
+//! targets use, backed by a crude wall-clock timer. Reports mean time per
+//! iteration to stdout; no statistics, no HTML reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    // Opaque enough for a stub: read the value through a volatile pointer.
+    unsafe {
+        let ret = std::ptr::read_volatile(&x);
+        std::mem::forget(x);
+        ret
+    }
+}
+
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed.as_millis() >= 10 || iters >= 1 << 20 {
+                self.last_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 2;
+        }
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher { last_ns: 0.0 };
+        f(&mut b, input);
+        report(&label, b.last_ns);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { last_ns: 0.0 };
+    f(&mut b);
+    report(label, b.last_ns);
+}
+
+fn report(label: &str, ns: f64) {
+    if ns >= 1e9 {
+        println!("{label:<60} {:>10.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{label:<60} {:>10.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{label:<60} {:>10.3} us/iter", ns / 1e3);
+    } else {
+        println!("{label:<60} {ns:>10.1} ns/iter");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { last_ns: 0.0 };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.last_ns > 0.0);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("id", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        c.bench_function("top", |b| b.iter(|| black_box(2u32).pow(10)));
+    }
+}

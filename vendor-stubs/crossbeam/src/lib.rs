@@ -1,0 +1,3 @@
+//! Offline stand-in for `crossbeam`. The workspace declares the
+//! dependency but does not use any of its items, so this crate exists
+//! only to satisfy dependency resolution.

@@ -1,0 +1,132 @@
+//! Offline stand-in for `rand` covering the surface the workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::gen::<f64>()`, and
+//! `Rng::gen_range(0..n)`. Backed by splitmix64 — deterministic, not the
+//! real StdRng stream, which is fine because callers only rely on
+//! seed-reproducibility, not on specific draw values.
+
+use std::ops::Range;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`] and usable with [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    fn sample_one(rng: &mut dyn RngCore) -> Self;
+    fn sample_range(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait Rng: RngCore + Sized {
+    fn gen<T: SampleUniform>(&mut self) -> T {
+        T::sample_one(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+impl SampleUniform for f64 {
+    fn sample_one(rng: &mut dyn RngCore) -> f64 {
+        // 53 random bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn sample_range(rng: &mut dyn RngCore, range: Range<f64>) -> f64 {
+        range.start + Self::sample_one(rng) * (range.end - range.start)
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_one(rng: &mut dyn RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+
+            fn sample_range(rng: &mut dyn RngCore, range: Range<$t>) -> $t {
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                assert!(span > 0, "cannot sample empty range");
+                // Modulo bias is irrelevant for a test-support stub.
+                let r = (rng.next_u64() as u128) % span;
+                (range.start as u128).wrapping_add(r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for rand's StdRng.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<f64>(), c.gen::<f64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            let i = rng.gen_range(0usize..10);
+            assert!(i < 10);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit over 500 draws");
+    }
+}

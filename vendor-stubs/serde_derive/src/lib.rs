@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available offline)
+//! and emits `serde::Serialize` / `serde::Deserialize` impls against the
+//! stub serde's value-tree data model. Supports the shapes this workspace
+//! uses: non-generic structs (named, tuple, unit) and enums with unit,
+//! struct, and tuple variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of body an item or enum variant carries.
+enum Body {
+    /// `struct X;` or unit enum variant.
+    Unit,
+    /// Named fields `{ a: T, b: U }` (field names captured).
+    Named(Vec<String>),
+    /// Tuple fields `(T, U)` (arity captured).
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct { name: String, body: Body },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("stub serde_derive does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let group = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body for `{name}`, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Split a token stream on commas that sit outside any `<...>` nesting
+/// (delimiter groups are single tokens, so only angle brackets need
+/// manual tracking; `->` is handled by ignoring `>` after `-`).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    for t in stream {
+        let mut dash = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                '-' => dash = true,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        prev_dash = dash;
+        out.last_mut().unwrap().push(t);
+    }
+    if out.last().map(|seg| seg.is_empty()).unwrap_or(false) {
+        out.pop();
+    }
+    out
+}
+
+/// Strip `#[attr]` pairs and visibility from a segment.
+fn strip_attrs_and_vis(seg: &[TokenTree]) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < seg.len() {
+        match &seg[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = seg.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            t => {
+                out.push(t.clone());
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|seg| {
+            let seg = strip_attrs_and_vis(seg);
+            match seg.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|seg| {
+            let seg = strip_attrs_and_vis(seg);
+            let name = match seg.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            let body = match seg.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(field_names(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_top_level_fields(g.stream()))
+                }
+                None => Body::Unit,
+                other => panic!("unexpected variant body: {other:?}"),
+            };
+            Variant { name, body }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let expr = match body {
+                Body::Unit => "::serde::Value::Null".to_string(),
+                Body::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    if *n == 1 {
+                        items.into_iter().next().unwrap()
+                    } else {
+                        format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                    }
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Body::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Body::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let build = match body {
+                Body::Unit => format!("::std::result::Result::Ok({name})"),
+                Body::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(__v.get_field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Body::Tuple(n) => {
+                    if *n == 1 {
+                        format!(
+                            "::std::result::Result::Ok({name}(\
+                             ::serde::Deserialize::from_value(__v)?))"
+                        )
+                    } else {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        format!(
+                            "match __v {{\n\
+                                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}({})),\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"expected {n}-element sequence for {name}, got \
+                                     {{:?}}\", __other))),\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {build}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, Body::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        Body::Unit => None,
+                        Body::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __payload.get_field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                        Body::Tuple(n) => {
+                            if *n == 1 {
+                                Some(format!(
+                                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                     ::serde::Deserialize::from_value(__payload)?)),"
+                                ))
+                            } else {
+                                let inits: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(&__items[{i}])?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vn}\" => match __payload {{\n\
+                                         ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                             ::std::result::Result::Ok({name}::{vn}({inits})),\n\
+                                         __other => ::std::result::Result::Err(\
+                                             ::serde::Error::custom(format!(\
+                                             \"bad payload for variant {vn}: {{:?}}\", \
+                                             __other))),\n\
+                                     }},",
+                                    inits = inits.join(", ")
+                                ))
+                            }
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {units}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data}\n\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::Error::custom(format!(\
+                                         \"unknown variant '{{__other}}' of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"bad encoding for enum {name}: {{:?}}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    }
+}

@@ -63,6 +63,7 @@ pub fn report(sweep: &SweepResult) -> Report {
 
     // Panel (d): κ sweep at v = 12.5.
     {
+        // spice-lint: allow(N002) v_label is an exact grid constant, not a computed float
         let cells: Vec<_> = sweep.cells.iter().filter(|c| c.v_label == 12.5).collect();
         if !cells.is_empty() {
             let npts = cells[0].curve.points.len();

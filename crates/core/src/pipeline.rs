@@ -99,6 +99,32 @@ pub fn run_cell(scale: Scale, kappa: f64, v_label: f64, seeds: SeedSequence) -> 
         t.v_a_per_ns = v_label;
         t.kappa_pn_per_a = kappa;
     }
+    // Audit: the ensemble handed downstream must be exactly what the
+    // scale requested — no duplicated or invented realizations — and
+    // every surviving trajectory must be time/coordinate ordered.
+    #[cfg(feature = "audit")]
+    {
+        if trajectories.len() > scale.realizations() {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[core.ensemble_count]: cell (κ={kappa}, \
+                 v={v_label}) produced {} trajectories for {} requested",
+                trajectories.len(),
+                scale.realizations()
+            );
+        }
+        for t in &trajectories {
+            if !t.is_well_formed() {
+                // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+                panic!(
+                    "spice-audit[core.trajectory_order]: cell (κ={kappa}, \
+                     v={v_label}) seed {} produced a non-monotone work \
+                     trajectory",
+                    t.seed
+                );
+            }
+        }
+    }
     let span = scale.pull_distance();
     let npts = scale.pmf_points();
     let curve = PmfCurve::estimate(&trajectories, span, npts, KT_300, Estimator::Jarzynski);

@@ -148,6 +148,7 @@ impl Campaign {
                 }
             }
             let (si, start, finish) = best.unwrap_or_else(|| {
+                // spice-lint: allow(P001) planner contract: a job that fits no site is a config error, not a recoverable state
                 panic!(
                     "job {} ({} procs) fits nowhere in the federation",
                     job.name, job.procs

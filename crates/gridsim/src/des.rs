@@ -101,10 +101,16 @@ pub fn run_des_with_policy(campaign: &Campaign, policy: DispatchPolicy) -> Campa
         }
     };
 
+    #[cfg(feature = "audit")]
+    let mut submitted = 0usize;
     while let Some((t, ev)) = q.pop() {
         let now = t.hours();
         match ev {
             Ev::Submit(ji) => {
+                #[cfg(feature = "audit")]
+                {
+                    submitted += 1;
+                }
                 let job = &campaign.jobs[ji];
                 let fitting: Vec<usize> = campaign
                     .federation
@@ -197,6 +203,21 @@ pub fn run_des_with_policy(campaign: &Campaign, policy: DispatchPolicy) -> Campa
                         q.schedule(SimTime::from_hours(now + 1.0), Ev::Poke(site_id));
                     }
                 }
+            }
+        }
+        // Audit: every job handed to the federation is still accounted
+        // for — sitting in some site queue or already started (a record
+        // exists for running and finished jobs alike).
+        #[cfg(feature = "audit")]
+        {
+            let queued: usize = schedulers.iter().map(SiteScheduler::queued).sum();
+            if queued + records.len() != submitted {
+                // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+                panic!(
+                    "spice-audit[gridsim.job_conservation]: {submitted} jobs \
+                     submitted but {queued} queued + {} started",
+                    records.len()
+                );
             }
         }
     }

@@ -119,9 +119,42 @@ impl<E> EventQueue<E> {
         self.schedule(t, payload);
     }
 
+    /// Audit-only scheduling that bypasses the into-the-past assert, so
+    /// injection tests can corrupt the queue and prove the pop-side
+    /// sanitizer fires. Never compiled into normal builds.
+    #[cfg(feature = "audit")]
+    pub fn schedule_unchecked(&mut self, t: SimTime, payload: E) {
+        self.heap.push(Entry {
+            time: t,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
     /// Pop the next event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {
+            #[cfg(feature = "audit")]
+            {
+                if !e.time.hours().is_finite() {
+                    // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+                    panic!(
+                        "spice-audit[gridsim.finite_time]: event popped at \
+                         non-finite time {}",
+                        e.time.hours()
+                    );
+                }
+                if e.time < self.now {
+                    // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+                    panic!(
+                        "spice-audit[gridsim.event_order]: event time {} \
+                         precedes the clock {} — DES monotonicity violated",
+                        e.time.hours(),
+                        self.now.hours()
+                    );
+                }
+            }
             self.now = e.time;
             (e.time, e.payload)
         })

@@ -28,6 +28,9 @@ pub struct SiteScheduler {
     running: Vec<Running>,
     /// Site unavailable until this time (outage), if any.
     down_until: Option<f64>,
+    /// Total processor count, kept only to audit conservation.
+    #[cfg(feature = "audit")]
+    capacity: u32,
 }
 
 impl SiteScheduler {
@@ -39,6 +42,22 @@ impl SiteScheduler {
             queue: VecDeque::new(),
             running: Vec::new(),
             down_until: None,
+            #[cfg(feature = "audit")]
+            capacity,
+        }
+    }
+
+    /// Audit: free + in-use processors must always equal the capacity.
+    #[cfg(feature = "audit")]
+    fn check_proc_conservation(&self) {
+        let used: u32 = self.running.iter().map(|r| r.procs).sum();
+        if self.free + used != self.capacity {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[gridsim.proc_conservation]: {} free + {} in \
+                 use != {} capacity",
+                self.free, used, self.capacity
+            );
         }
     }
 
@@ -90,6 +109,8 @@ impl SiteScheduler {
                 i += 1;
             }
         }
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
         started
     }
 
@@ -105,6 +126,8 @@ impl SiteScheduler {
             .expect("finishing a job that is not running");
         let r = self.running.swap_remove(idx);
         self.free += r.procs;
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
     }
 
     /// Next running-job finish time, if any.

@@ -83,7 +83,7 @@ pub fn select_optimal(cells: &[ParameterCell], significance: f64) -> Selection {
     let cells = &eligible[..];
     // Rank κ values by their best cell score.
     let mut kappas: Vec<f64> = cells.iter().map(|c| c.kappa_pn_per_a).collect();
-    kappas.sort_by(|a, b| a.partial_cmp(b).expect("finite κ"));
+    kappas.sort_by(f64::total_cmp);
     kappas.dedup();
     let mut kappa_ranking: Vec<(f64, f64)> = kappas
         .iter()
@@ -96,7 +96,7 @@ pub fn select_optimal(cells: &[ParameterCell], significance: f64) -> Selection {
             (k, best)
         })
         .collect();
-    kappa_ranking.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+    kappa_ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
     let best_kappa = kappa_ranking[0].0;
 
     // Within the best κ: candidate vs sorted ascending.
@@ -104,7 +104,7 @@ pub fn select_optimal(cells: &[ParameterCell], significance: f64) -> Selection {
         .iter()
         .filter(|c| c.kappa_pn_per_a == best_kappa)
         .collect();
-    column.sort_by(|a, b| a.v_a_per_ns.partial_cmp(&b.v_a_per_ns).expect("finite v"));
+    column.sort_by(|a, b| a.v_a_per_ns.total_cmp(&b.v_a_per_ns));
 
     // Within the best κ, take the slowest velocity — it carries the least
     // dissipation bias. The paper's convergence check (v = 12.5 vs 25 at

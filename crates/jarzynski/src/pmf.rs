@@ -135,8 +135,8 @@ impl PmfCurve {
         let sign = self.v_a_per_ns.signum();
         let key = |p: &PmfPoint| p.guide_disp * sign;
         let target = s * sign;
-        if target < key(&self.points[0]) - 1e-9 || target > key(self.points.last().unwrap()) + 1e-9
-        {
+        let last = self.points.last().expect("points non-empty: checked above");
+        if target < key(&self.points[0]) - 1e-9 || target > key(last) + 1e-9 {
             return None;
         }
         let mut prev = &self.points[0];
@@ -151,7 +151,7 @@ impl PmfCurve {
             }
             prev = cur;
         }
-        Some(self.points.last().unwrap().phi)
+        Some(last.phi)
     }
 
     /// Largest |Φ| over the grid (scale of the profile).

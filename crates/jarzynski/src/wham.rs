@@ -105,6 +105,7 @@ pub fn wham(
     while iterations < max_iter {
         // P(x) update.
         for b in 0..nbins {
+            // spice-lint: allow(N002) exact-zero count marks an empty histogram bin
             if counts[b] == 0.0 {
                 p[b] = 0.0;
                 continue;

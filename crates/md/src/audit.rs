@@ -1,0 +1,54 @@
+//! Runtime simulation sanitizer (the `audit` cargo feature).
+//!
+//! Invariant checks installed at layer boundaries and compiled out of
+//! normal builds entirely: without `--features audit` this module does
+//! not exist and the hot path pays nothing. With it, every completed
+//! integrator step asserts that the particle state is finite, so a NaN
+//! is caught at the step that produced it instead of thousands of steps
+//! later when an observable goes bad.
+//!
+//! Panic messages follow the format `spice-audit[layer.invariant]: ...`
+//! so a failing CI run names the violated invariant directly.
+
+use crate::system::System;
+use crate::vec3::Vec3;
+
+fn finite(v: &Vec3) -> bool {
+    v.x.is_finite() && v.y.is_finite() && v.z.is_finite()
+}
+
+/// Assert every position, velocity and force is finite. Invoked by
+/// [`crate::sim::Simulation::step_once`] after each completed step; also
+/// callable directly (injection tests drive it with corrupted systems).
+pub fn check_finite_state(system: &System, step: u64) {
+    for (i, p) in system.positions().iter().enumerate() {
+        if !finite(p) {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[md.finite_state]: particle {i} position \
+                 ({}, {}, {}) non-finite after step {step}",
+                p.x, p.y, p.z
+            );
+        }
+    }
+    for (i, v) in system.velocities().iter().enumerate() {
+        if !finite(v) {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[md.finite_state]: particle {i} velocity \
+                 ({}, {}, {}) non-finite after step {step}",
+                v.x, v.y, v.z
+            );
+        }
+    }
+    for (i, f) in system.forces().iter().enumerate() {
+        if !finite(f) {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[md.finite_state]: particle {i} force \
+                 ({}, {}, {}) non-finite after step {step}",
+                f.x, f.y, f.z
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@ pub fn bond_forces(bonds: &[Bond], positions: &[Vec3], forces: &mut [Vec3]) -> f
     for b in bonds {
         let d = positions[b.j] - positions[b.i];
         let r = d.norm();
+        // spice-lint: allow(N002) exact-zero separation guard: coincident beads
         if r == 0.0 {
             // Coincident bonded particles: force direction undefined; skip
             // (energy contribution of harmonic term is k r0², FENE is 0).
@@ -68,6 +69,7 @@ pub fn angle_forces(angles: &[Angle], positions: &[Vec3], forces: &mut [Vec3]) -
         let rij = positions[a.i] - positions[a.j];
         let rkj = positions[a.k_idx] - positions[a.j];
         let (nij, nkj) = (rij.norm(), rkj.norm());
+        // spice-lint: allow(N002) exact-zero bond-length guard: degenerate angle
         if nij == 0.0 || nkj == 0.0 {
             continue;
         }

@@ -36,6 +36,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod checkpoint;
 pub mod error;
 pub mod forces;

@@ -49,7 +49,8 @@ pub fn end_to_end(system: &System, chain: &[usize]) -> f64 {
     if chain.len() < 2 {
         return 0.0;
     }
-    (system.positions()[*chain.last().unwrap()] - system.positions()[chain[0]]).norm()
+    let last = *chain.last().expect("chain has >= 2 beads: checked above");
+    (system.positions()[last] - system.positions()[chain[0]]).norm()
 }
 
 /// Contour length: sum of consecutive bead separations along a chain.
@@ -171,7 +172,7 @@ mod tests {
         let (widest_mid, widest) = prof
             .iter()
             .cloned()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         assert_eq!(widest, 2.0);
         assert_eq!(widest_mid, 3.0);

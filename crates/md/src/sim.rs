@@ -148,6 +148,8 @@ impl Simulation {
         };
         integrator.step(system, *dt, *step, &mut eval);
         self.step += 1;
+        #[cfg(feature = "audit")]
+        crate::audit::check_finite_state(&self.system, self.step);
     }
 
     /// Run `nsteps` steps, invoking each hook after every step. Stops

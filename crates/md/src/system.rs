@@ -182,6 +182,7 @@ impl System {
             num += self.positions[i] * self.masses[i];
             den += self.masses[i];
         }
+        // spice-lint: allow(N002) exact-zero total mass sentinel: empty group
         if den == 0.0 {
             Vec3::zero()
         } else {
@@ -206,6 +207,7 @@ impl System {
     /// Remove net center-of-mass drift velocity.
     pub fn remove_com_velocity(&mut self) {
         let m = self.total_mass();
+        // spice-lint: allow(N002) exact-zero total mass sentinel: empty group
         if m == 0.0 {
             return;
         }

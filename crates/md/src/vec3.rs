@@ -75,6 +75,7 @@ impl Vec3 {
     #[inline]
     pub fn normalized(self) -> Vec3 {
         let n = self.norm();
+        // spice-lint: allow(N002) exact-zero norm guard: zero vector has no direction
         if n == 0.0 {
             ZERO
         } else {

@@ -70,7 +70,7 @@ pub fn stretch_sample(system: &System, dna: &[usize]) -> StretchSample {
     let max = spacing
         .iter()
         .cloned()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite spacings"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap_or((f64::NAN, f64::NAN));
     StretchSample {
         com_z: observables::com_z(system, dna),

@@ -167,6 +167,7 @@ impl PoreSystemBuilder {
                 radius: 40.0,
                 k: 5.0,
             });
+        // spice-lint: allow(N002) exact-zero charge is the "feature off" sentinel
         if self.ring_charge != 0.0 {
             ff = ff.with_external(ConstrictionRing {
                 radius: self.geometry.constriction_radius,

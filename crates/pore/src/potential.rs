@@ -110,6 +110,7 @@ pub struct ConstrictionRing {
 
 impl ExternalPotential for ConstrictionRing {
     fn energy_force(&self, p: Vec3, species: SpeciesId) -> (f64, Vec3) {
+        // spice-lint: allow(N002) exact-zero charge is the "electrostatics disabled" sentinel
         if species != SPECIES_DNA || self.bead_charge == 0.0 {
             return (0.0, Vec3::zero());
         }
@@ -194,6 +195,7 @@ impl ExternalPotential for AxialCorrugation {
             return (0.0, Vec3::zero());
         }
         let (env, denv) = self.envelope(p.z);
+        // spice-lint: allow(N002) exact-zero envelope sentinel: force-free region
         if env == 0.0 && denv == 0.0 {
             return (0.0, Vec3::zero());
         }

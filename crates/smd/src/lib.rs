@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod ensemble;
 pub mod protocol;
 pub mod pulling;

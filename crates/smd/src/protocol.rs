@@ -96,6 +96,7 @@ impl PullProtocol {
     /// Panics on non-physical settings.
     pub fn validate(&self) {
         assert!(self.kappa_pn_per_a > 0.0, "κ must be positive");
+        // spice-lint: allow(N002) exact zero is precisely the invalid velocity being rejected
         assert!(self.v_a_per_ns != 0.0, "pulling velocity must be non-zero");
         assert!(self.pull_distance > 0.0, "pull distance must be positive");
         assert!(self.dt_ps > 0.0, "dt must be positive");

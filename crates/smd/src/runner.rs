@@ -108,6 +108,8 @@ pub fn pull_from(
         // Trapezoid: dW = v · (F_prev + F)/2 · dt.
         work += v * 0.5 * (prev_force + force) * dt;
         prev_force = force;
+        #[cfg(feature = "audit")]
+        crate::audit::check_finite_work(work, force, step);
         if step % protocol.sample_stride == 0 || step == nsteps {
             samples.push(WorkSample {
                 t_ps: t - t0,

@@ -73,17 +73,14 @@ fn interpolate(samples: &[WorkSample], s: f64, f: impl Fn(&WorkSample) -> f64) -
     if samples.is_empty() {
         return None;
     }
+    let last = samples.last().expect("samples non-empty: checked above");
     // Handle descending (negative-velocity) trajectories by flipping the
     // coordinate so it is ascending; the query flips with it, so an
     // out-of-range query stays out of range.
-    let sign = if samples.last().unwrap().guide_disp >= 0.0 {
-        1.0
-    } else {
-        -1.0
-    };
+    let sign = if last.guide_disp >= 0.0 { 1.0 } else { -1.0 };
     let key = |w: &WorkSample| w.guide_disp * sign;
     let target = s * sign;
-    if target < key(&samples[0]) - 1e-9 || target > key(samples.last().unwrap()) + 1e-9 {
+    if target < key(&samples[0]) - 1e-9 || target > key(last) + 1e-9 {
         return None;
     }
     let mut prev = &samples[0];
@@ -98,7 +95,7 @@ fn interpolate(samples: &[WorkSample], s: f64, f: impl Fn(&WorkSample) -> f64) -
         }
         prev = cur;
     }
-    Some(f(samples.last().unwrap()))
+    Some(f(last))
 }
 
 /// Split a long trajectory into sub-trajectories of guide length
@@ -119,23 +116,20 @@ pub fn segment_trajectory(traj: &WorkTrajectory, segment_len: f64) -> Vec<WorkTr
     for seg in 0..nseg {
         let lo = seg as f64 * segment_len;
         let hi = lo + segment_len;
-        let (mut w0, mut c0, mut t0) = (None, None, None);
+        let mut origin: Option<(f64, f64, f64)> = None;
         let mut samples = Vec::new();
         for s in &traj.samples {
             let d = s.guide_disp.abs();
             if d + 1e-9 < lo || d > hi + 1e-9 {
                 continue;
             }
-            if w0.is_none() {
-                w0 = Some(s.work);
-                c0 = Some(s.com_disp);
-                t0 = Some(s.t_ps);
-            }
+            // Work, COM and time are re-zeroed at the first in-range sample.
+            let (w0, c0, t0) = *origin.get_or_insert((s.work, s.com_disp, s.t_ps));
             samples.push(WorkSample {
-                t_ps: s.t_ps - t0.unwrap(),
+                t_ps: s.t_ps - t0,
                 guide_disp: s.guide_disp - lo * traj.v_a_per_ns.signum(),
-                com_disp: s.com_disp - c0.unwrap(),
-                work: s.work - w0.unwrap(),
+                com_disp: s.com_disp - c0,
+                work: s.work - w0,
                 force: s.force,
             });
         }

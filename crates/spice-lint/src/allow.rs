@@ -1,0 +1,277 @@
+//! Violation suppression: inline `// spice-lint: allow(RULE) reason`
+//! comments and the checked-in `lint-allow.toml` baseline.
+//!
+//! Both forms require a written reason; a reason-less allow is itself a
+//! violation (`A001`), and an allow that suppresses nothing is reported
+//! as stale (`A002`) so annotations cannot rot silently.
+
+use crate::lexer::Comment;
+use std::cell::Cell;
+
+/// One inline allow directive, parsed from a line comment.
+#[derive(Debug)]
+pub struct InlineAllow {
+    /// Rule id this directive suppresses (e.g. `P001`).
+    pub rule: String,
+    /// Free-text justification after the closing paren.
+    pub reason: String,
+    /// 1-indexed line the comment sits on.
+    pub line: u32,
+    /// Annotation-above style (own line, covers the next line) vs
+    /// trailing style (after code, covers its own line).
+    pub own_line: bool,
+    /// Set when the directive suppressed at least one diagnostic.
+    pub used: Cell<bool>,
+}
+
+/// A malformed directive (recognized `spice-lint:` marker but unusable).
+#[derive(Debug)]
+pub struct MalformedAllow {
+    /// 1-indexed line of the comment.
+    pub line: u32,
+    /// What was wrong with it.
+    pub problem: String,
+}
+
+/// All directives found in one file.
+#[derive(Debug, Default)]
+pub struct FileAllows {
+    /// Well-formed inline allows.
+    pub allows: Vec<InlineAllow>,
+    /// Malformed ones (reported as `A001`).
+    pub malformed: Vec<MalformedAllow>,
+}
+
+/// Scan the file's comments for `spice-lint:` directives.
+pub fn parse_inline(comments: &[Comment]) -> FileAllows {
+    let mut out = FileAllows::default();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("spice-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            out.malformed.push(MalformedAllow {
+                line: c.line,
+                problem: format!("unrecognized spice-lint directive: `{text}`"),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.malformed.push(MalformedAllow {
+                line: c.line,
+                problem: "unterminated allow(...) directive".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim().to_string();
+        if rule.is_empty() || !rule.chars().all(|ch| ch.is_ascii_alphanumeric()) {
+            out.malformed.push(MalformedAllow {
+                line: c.line,
+                problem: format!("invalid rule id in allow(...): `{rule}`"),
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            out.malformed.push(MalformedAllow {
+                line: c.line,
+                problem: format!("allow({rule}) has no reason — every allow must say why"),
+            });
+            continue;
+        }
+        out.allows.push(InlineAllow {
+            rule,
+            reason,
+            line: c.line,
+            own_line: c.own_line,
+            used: Cell::new(false),
+        });
+    }
+    out
+}
+
+impl FileAllows {
+    /// True when a directive covers (and therefore suppresses) a
+    /// diagnostic of `rule` on `line`. A trailing directive covers its
+    /// own line; an annotation-above directive covers the next line.
+    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
+        let mut hit = false;
+        for a in &self.allows {
+            let covered = if a.own_line { a.line + 1 } else { a.line };
+            if a.rule == rule && covered == line {
+                a.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// One baseline entry from `lint-allow.toml`: suppress `rule` for every
+/// file whose workspace-relative path starts with `path`.
+#[derive(Debug)]
+pub struct BaselineEntry {
+    /// Rule id to suppress.
+    pub rule: String,
+    /// Path prefix (workspace-relative, `/`-separated).
+    pub path: String,
+    /// Written justification (required).
+    pub reason: String,
+    /// Set when the entry suppressed at least one diagnostic.
+    pub used: Cell<bool>,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// All entries in file order.
+    pub entries: Vec<BaselineEntry>,
+    /// Parse problems (reported as `A001` at the baseline's own path).
+    pub problems: Vec<String>,
+}
+
+/// Parse the `lint-allow.toml` baseline. The accepted grammar is the
+/// minimal TOML subset the file needs (`[[allow]]` tables with string
+/// keys), hand-rolled because the workspace is dependency-free.
+pub fn parse_baseline(src: &str) -> Baseline {
+    let mut out = Baseline::default();
+    let mut cur: Option<(Option<String>, Option<String>, Option<String>)> = None;
+    let flush = |cur: &mut Option<(Option<String>, Option<String>, Option<String>)>,
+                 out: &mut Baseline| {
+        if let Some((rule, path, reason)) = cur.take() {
+            match (rule, path, reason) {
+                (Some(rule), Some(path), Some(reason)) if !reason.trim().is_empty() => {
+                    out.entries.push(BaselineEntry {
+                        rule,
+                        path,
+                        reason,
+                        used: Cell::new(false),
+                    });
+                }
+                (rule, path, _) => out.problems.push(format!(
+                    "incomplete [[allow]] entry (rule={rule:?}, path={path:?}): \
+                     needs rule, path and a non-empty reason"
+                )),
+            }
+        }
+    };
+    for (n, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            flush(&mut cur, &mut out);
+            cur = Some((None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            out.problems
+                .push(format!("line {}: expected `key = \"value\"`", n + 1));
+            continue;
+        };
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .map(str::to_string);
+        let Some(value) = value else {
+            out.problems.push(format!(
+                "line {}: value must be a double-quoted string",
+                n + 1
+            ));
+            continue;
+        };
+        let Some(entry) = cur.as_mut() else {
+            out.problems
+                .push(format!("line {}: key outside any [[allow]] entry", n + 1));
+            continue;
+        };
+        match key.trim() {
+            "rule" => entry.0 = Some(value),
+            "path" => entry.1 = Some(value),
+            "reason" => entry.2 = Some(value),
+            other => out
+                .problems
+                .push(format!("line {}: unknown key `{other}`", n + 1)),
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+impl Baseline {
+    /// True when a baseline entry covers `rule` at `path`.
+    pub fn suppresses(&self, rule: &str, path: &str) -> bool {
+        let mut hit = false;
+        for e in &self.entries {
+            if e.rule == rule && path.starts_with(e.path.as_str()) {
+                e.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn inline_allow_with_reason_parses() {
+        let lexed = lex("let x = 1; // spice-lint: allow(P001) index proven in range\n");
+        let allows = parse_inline(&lexed.comments);
+        assert_eq!(allows.allows.len(), 1);
+        assert_eq!(allows.allows[0].rule, "P001");
+        assert!(allows.allows[0].reason.contains("proven"));
+        assert!(allows.suppresses("P001", 1), "trailing covers its own line");
+        assert!(!allows.suppresses("P001", 2), "trailing does not leak down");
+        assert!(!allows.suppresses("N001", 1));
+        let above = parse_inline(&lex("// spice-lint: allow(P001) why\nlet x = 1;\n").comments);
+        assert!(above.suppresses("P001", 2), "own-line covers the next line");
+        assert!(!above.suppresses("P001", 1));
+    }
+
+    #[test]
+    fn reasonless_allow_is_malformed() {
+        let lexed = lex("// spice-lint: allow(P001)\n");
+        let allows = parse_inline(&lexed.comments);
+        assert!(allows.allows.is_empty());
+        assert_eq!(allows.malformed.len(), 1);
+        assert!(allows.malformed[0].problem.contains("no reason"));
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let src = r#"
+# comment
+[[allow]]
+rule = "P001"
+path = "crates/md/src/checkpoint.rs"
+reason = "serde stub round-trips are infallible here"
+
+[[allow]]
+rule = "N002"
+path = "crates/stats"
+reason = "exact sentinel comparisons"
+"#;
+        let b = parse_baseline(src);
+        assert!(b.problems.is_empty(), "{:?}", b.problems);
+        assert_eq!(b.entries.len(), 2);
+        assert!(b.suppresses("P001", "crates/md/src/checkpoint.rs"));
+        assert!(b.suppresses("N002", "crates/stats/src/descriptive.rs"));
+        assert!(!b.suppresses("P001", "crates/md/src/sim.rs"));
+    }
+
+    #[test]
+    fn baseline_requires_reason() {
+        let src = "[[allow]]\nrule = \"P001\"\npath = \"x\"\n";
+        let b = parse_baseline(src);
+        assert!(b.entries.is_empty());
+        assert_eq!(b.problems.len(), 1);
+    }
+}

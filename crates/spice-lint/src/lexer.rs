@@ -1,0 +1,520 @@
+//! A hand-rolled Rust lexer sufficient for token-stream lint passes.
+//!
+//! Deliberately dependency-free (no `syn`, no `proc-macro2`): the build
+//! environment is offline and the rules only need a faithful token
+//! stream, not a syntax tree. The lexer understands everything that can
+//! make a naive text scan lie about code: line and (nested) block
+//! comments, string/char/byte/raw-string literals, lifetimes vs char
+//! literals, numeric literal shapes (`1.0`, `1.`, `1e-9`, `0x1F`,
+//! `1_000.5f64`), and the range-vs-float ambiguity (`0..10`).
+
+/// Token kinds the rules care about. Punctuation is mostly passed
+/// through one char at a time; `==`/`!=` are fused because a rule keys
+/// on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including `0x`/`0o`/`0b` and suffixed forms).
+    Int,
+    /// Floating-point literal (`1.0`, `1.`, `1e-9`, `2.5f64`, …).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// One token with its source location (1-indexed line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (empty for string literals — rules never need
+    /// their contents, and skipping the copy keeps the pass cheap).
+    pub text: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// 1-indexed source column (byte-based).
+    pub col: u32,
+}
+
+/// A line comment, captured so the allow-directive scanner can see
+/// `// spice-lint: allow(...)` annotations with their locations.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the leading `//`.
+    pub text: String,
+    /// 1-indexed source line the comment starts on.
+    pub line: u32,
+    /// True when no code precedes the comment on its line (an
+    /// annotation-above comment rather than a trailing one).
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus all line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Never fails: unknown bytes become punctuation and a
+/// truncated literal simply ends at EOF — a linter must degrade
+/// gracefully on code that does not compile yet.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    own_line: out.tokens.last().is_none_or(|t| t.line != line),
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' if starts_prefixed_literal(&cur) => {
+                let kind = lex_prefixed_literal(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut cur, &mut out);
+                if let Some(kind) = kind {
+                    // Char literal; lifetimes push their own token.
+                    out.tokens.push(Token {
+                        kind,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'=' if cur.peek(1) == Some(b'=') => {
+                cur.bump();
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::EqEq,
+                    text: "==".into(),
+                    line,
+                    col,
+                });
+            }
+            b'!' if cur.peek(1) == Some(b'=') => {
+                cur.bump();
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Ne,
+                    text: "!=".into(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(b as char),
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"` or `br#`
+/// (a raw/byte literal) rather than a plain identifier starting with
+/// `r`/`b`.
+fn starts_prefixed_literal(cur: &Cursor<'_>) -> bool {
+    matches!(
+        (cur.peek(0), cur.peek(1), cur.peek(2)),
+        (Some(b'r'), Some(b'"' | b'#'), _)
+            | (Some(b'b'), Some(b'"' | b'\''), _)
+            | (Some(b'b'), Some(b'r'), Some(b'"' | b'#'))
+    )
+}
+
+fn lex_prefixed_literal(cur: &mut Cursor<'_>) -> TokKind {
+    // Consume the prefix letters.
+    let mut raw = false;
+    while let Some(c) = cur.peek(0) {
+        if c == b'r' {
+            raw = true;
+            cur.bump();
+        } else if c == b'b' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if raw {
+        // Count hashes, then scan to `"` + the same number of hashes.
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek(0) == Some(b'"') {
+            cur.bump();
+            'scan: while let Some(c) = cur.bump() {
+                if c == b'"' {
+                    for k in 0..hashes {
+                        if cur.peek(k) != Some(b'#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        TokKind::Str
+    } else if cur.peek(0) == Some(b'\'') {
+        cur.bump();
+        lex_char_body(cur);
+        TokKind::Char
+    } else {
+        lex_string(cur);
+        TokKind::Str
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguate `'a'` (char), `'a` (lifetime) and `'_`; called with the
+/// cursor on the opening quote. Lifetimes are pushed directly; char
+/// literals return their kind for the caller to push.
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed) -> Option<TokKind> {
+    let (line, col) = (cur.line, cur.col);
+    // Lifetime: 'ident not followed by a closing quote.
+    if cur.peek(1).is_some_and(|c| is_ident_start(c) || c == b'_') && cur.peek(2) != Some(b'\'') {
+        cur.bump(); // '
+        let start = cur.pos;
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Lifetime,
+            text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+            line,
+            col,
+        });
+        None
+    } else {
+        cur.bump(); // '
+        lex_char_body(cur);
+        Some(TokKind::Char)
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> TokKind {
+    // Radix-prefixed integers never contain a float part.
+    if cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x' | b'o' | b'b')) {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+        return TokKind::Int;
+    }
+    let mut float = false;
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    // Fractional part: a dot NOT followed by another dot (range) or an
+    // identifier start (method call / tuple field on an integer).
+    if cur.peek(0) == Some(b'.') && !cur.peek(1).is_some_and(|c| c == b'.' || is_ident_start(c)) {
+        float = true;
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if cur.peek(0).is_some_and(|c| c == b'e' || c == b'E') {
+        let sign = usize::from(matches!(cur.peek(1), Some(b'+' | b'-')));
+        if cur.peek(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            cur.bump(); // e
+            for _ in 0..sign {
+                cur.bump();
+            }
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix (f32/f64 forces float; i*/u* stays int).
+    if cur.peek(0) == Some(b'f') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+    }
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r#"
+            let a = "thread_rng inside a string";
+            // thread_rng inside a comment
+            /* unwrap() in /* nested */ block */
+            let b = real_ident;
+        "#;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let src = r##"let x = r#"embedded "quote" and unwrap()"#; let y = after;"##;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn number_shapes() {
+        let kinds = |src: &str| lex(src).tokens.iter().map(|t| t.kind).collect::<Vec<_>>();
+        assert_eq!(kinds("1.0"), vec![TokKind::Float]);
+        assert_eq!(kinds("1e-9"), vec![TokKind::Float]);
+        assert_eq!(kinds("2.5f64"), vec![TokKind::Float]);
+        assert_eq!(kinds("1_000"), vec![TokKind::Int]);
+        assert_eq!(kinds("0x1F"), vec![TokKind::Int]);
+        // Range stays two ints, not a float.
+        assert_eq!(
+            kinds("0..10"),
+            vec![
+                TokKind::Int,
+                TokKind::Punct('.'),
+                TokKind::Punct('.'),
+                TokKind::Int
+            ]
+        );
+        // Tuple-field access on an integer literal position.
+        assert_eq!(
+            kinds("a.1.x")[..3],
+            [TokKind::Ident, TokKind::Punct('.'), TokKind::Int]
+        );
+    }
+
+    #[test]
+    fn eqeq_and_ne_fused() {
+        let kinds: Vec<_> = lex("a == 0.0 && b != 1.0")
+            .tokens
+            .iter()
+            .map(|t| t.kind)
+            .collect();
+        assert!(kinds.contains(&TokKind::EqEq));
+        assert!(kinds.contains(&TokKind::Ne));
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let src = "let a = 1;\n// spice-lint: allow(P001) reason\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(P001)"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nlet target = 1;";
+        let lexed = lex(src);
+        let t = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "target")
+            .expect("target token");
+        assert_eq!(t.line, 4);
+    }
+}

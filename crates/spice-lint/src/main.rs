@@ -1,0 +1,89 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p spice-lint --            # report violations (exit 0)
+//! cargo run -p spice-lint -- --deny     # exit nonzero on any violation
+//! cargo run -p spice-lint -- --list-rules
+//! cargo run -p spice-lint -- --root DIR # lint another checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "spice-lint: workspace determinism & numerical-safety analyzer\n\
+                     \n\
+                     USAGE: spice-lint [--deny] [--root DIR] [--list-rules]\n\
+                     \n\
+                     --deny        exit nonzero when any non-allowed violation remains\n\
+                     --root DIR    workspace root to scan (default: walk up from cwd)\n\
+                     --list-rules  print the rule catalog and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in spice_lint::rules::RULES {
+            println!("{}  {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match spice_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "error: no workspace Cargo.toml found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = spice_lint::lint_workspace(&root);
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let n = report.diagnostics.len();
+    eprintln!(
+        "spice-lint: {} violation{} across {} files",
+        n,
+        if n == 1 { "" } else { "s" },
+        report.files_scanned
+    );
+    if deny && n > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,520 @@
+//! The rule catalog and the per-file token-stream pass.
+//!
+//! Every rule works on the lexed token stream (never raw text), so
+//! string literals and comments can not produce false positives, and
+//! every diagnostic carries a file:line:col location plus the rule id
+//! the allow mechanism keys on.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// A single rule's metadata (id + human rationale), used by
+/// `--list-rules` and kept in sync with DESIGN.md's catalog.
+pub struct RuleInfo {
+    /// Stable rule id (`D001`, `N002`, …).
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The shipped rule catalog.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        summary: "HashMap/HashSet in simulation crates (gridsim/md/smd/core): \
+                  iteration order is nondeterministic; use BTreeMap/BTreeSet or a sorted Vec",
+    },
+    RuleInfo {
+        id: "D002",
+        summary: "ambient entropy or wall-clock time (thread_rng, from_entropy, \
+                  Instant::now, SystemTime) in simulation logic; seed explicitly instead",
+    },
+    RuleInfo {
+        id: "N001",
+        summary: "NaN-unsafe ordering: partial_cmp(..).unwrap()/.expect(..); \
+                  use f64::total_cmp for a deterministic total order",
+    },
+    RuleInfo {
+        id: "N002",
+        summary: "float == / != against a float literal in library code; \
+                  compare with a tolerance or annotate the exact-sentinel intent",
+    },
+    RuleInfo {
+        id: "P001",
+        summary: "unwrap()/panic! in non-test library code without an allow \
+                  annotation; use expect with an invariant message or return Result",
+    },
+    RuleInfo {
+        id: "A001",
+        summary: "malformed spice-lint directive (unknown form, bad rule id, \
+                  or allow without a written reason)",
+    },
+    RuleInfo {
+        id: "A002",
+        summary: "stale allow: the directive or baseline entry suppresses nothing",
+    },
+];
+
+/// Crate directories whose non-test code is a deterministic simulation
+/// path (rule D001's scope).
+const SIM_CRATES: &[&str] = &["gridsim", "md", "smd", "core"];
+
+/// Crate directories exempt from D002 (benchmarks time things by design).
+const ENTROPY_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// A rule violation before allow-filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDiagnostic {
+    /// Rule id.
+    pub rule: &'static str,
+    /// 1-indexed line.
+    pub line: u32,
+    /// 1-indexed column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Where a file sits in the workspace, derived from its relative path.
+#[derive(Debug)]
+pub struct FileContext {
+    /// Crate directory name under `crates/` (root package files get
+    /// `None`).
+    pub crate_dir: Option<String>,
+    /// True when the whole file is test/bench/example context.
+    pub test_file: bool,
+}
+
+impl FileContext {
+    /// Classify a workspace-relative, `/`-separated path.
+    pub fn from_rel_path(rel_path: &str) -> FileContext {
+        let components: Vec<&str> = rel_path.split('/').collect();
+        let crate_dir = match components.as_slice() {
+            ["crates", name, ..] => Some((*name).to_string()),
+            _ => None,
+        };
+        let test_file = components
+            .iter()
+            .any(|c| matches!(*c, "tests" | "benches" | "examples"))
+            || crate_dir.as_deref() == Some("bench");
+        FileContext {
+            crate_dir,
+            test_file,
+        }
+    }
+
+    fn in_sim_crate(&self) -> bool {
+        self.crate_dir
+            .as_deref()
+            .is_some_and(|c| SIM_CRATES.contains(&c))
+    }
+
+    fn entropy_exempt(&self) -> bool {
+        self.crate_dir
+            .as_deref()
+            .is_some_and(|c| ENTROPY_EXEMPT_CRATES.contains(&c))
+    }
+}
+
+/// Mark every token inside a `#[cfg(test)] mod … { … }` block. Inline
+/// test modules are the one place unwrap/exact-equality idioms are
+/// welcome, so the mask feeds the rules' test-context exemptions.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test_attr(tokens, i) {
+            if let Some((_open, close)) = find_mod_braces(tokens, after_attr) {
+                for m in mask.iter_mut().take(close + 1).skip(i) {
+                    *m = true;
+                }
+                i = close;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Match `# [ cfg ( test ) ]` starting at `i`; return the index after
+/// the closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    let pat = [
+        TokKind::Punct('#'),
+        TokKind::Punct('['),
+        TokKind::Ident,
+        TokKind::Punct('('),
+        TokKind::Ident,
+        TokKind::Punct(')'),
+        TokKind::Punct(']'),
+    ];
+    if i + pat.len() > tokens.len() {
+        return None;
+    }
+    for (k, want) in pat.iter().enumerate() {
+        if tokens[i + k].kind != *want {
+            return None;
+        }
+    }
+    if tokens[i + 2].text != "cfg" || tokens[i + 4].text != "test" {
+        return None;
+    }
+    Some(i + pat.len())
+}
+
+/// From just after the cfg attribute, skip further attributes and
+/// visibility, require a `mod name {`, and return the indices of the
+/// opening and matching closing brace.
+fn find_mod_braces(tokens: &[Token], mut i: usize) -> Option<(usize, usize)> {
+    // Skip additional `#[...]` attributes (balanced brackets).
+    while i + 1 < tokens.len()
+        && tokens[i].kind == TokKind::Punct('#')
+        && tokens[i + 1].kind == TokKind::Punct('[')
+    {
+        let mut depth = 0usize;
+        i += 1;
+        while i < tokens.len() {
+            match tokens[i].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Skip `pub`, `pub(crate)` etc.
+    if tokens.get(i).is_some_and(|t| t.text == "pub") {
+        i += 1;
+        if tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct('(')) {
+            while i < tokens.len() && tokens[i].kind != TokKind::Punct(')') {
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+    if tokens.get(i).is_none_or(|t| t.text != "mod") {
+        return None;
+    }
+    i += 1; // mod name
+    i += 1;
+    if !tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct('{')) {
+        return None; // out-of-line `mod x;`
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Run every rule over one lexed file.
+pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
+    let tokens = &lexed.tokens;
+    let mask = test_mask(tokens);
+    let mut out = Vec::new();
+    // Token indices consumed by an N001 match, so the same `unwrap`
+    // does not also fire P001 (one defect, one diagnostic).
+    let mut n001_tail = vec![false; tokens.len()];
+
+    for (i, tok) in tokens.iter().enumerate() {
+        let in_test = ctx.test_file || mask[i];
+        match tok.kind {
+            TokKind::Ident => {
+                let name = tok.text.as_str();
+                // D001 — nondeterministic iteration in simulation crates.
+                if !in_test && ctx.in_sim_crate() && (name == "HashMap" || name == "HashSet") {
+                    out.push(RawDiagnostic {
+                        rule: "D001",
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "`{name}` in a simulation crate: iteration order is \
+                             nondeterministic across runs — use BTreeMap/BTreeSet or a \
+                             sorted Vec so results are bit-reproducible"
+                        ),
+                    });
+                }
+                // D002 — ambient entropy / wall-clock time.
+                if !in_test && !ctx.entropy_exempt() {
+                    let hit = match name {
+                        "thread_rng" | "from_entropy" | "SystemTime" => Some(name),
+                        "Instant" if is_path_call(tokens, i, "now") => Some("Instant::now"),
+                        _ => None,
+                    };
+                    if let Some(what) = hit {
+                        out.push(RawDiagnostic {
+                            rule: "D002",
+                            line: tok.line,
+                            col: tok.col,
+                            message: format!(
+                                "`{what}` injects ambient entropy/time into simulation \
+                                 logic — thread seeds and clocks through explicit \
+                                 parameters so runs are reproducible"
+                            ),
+                        });
+                    }
+                }
+                // N001 — NaN-unsafe ordering (applies in tests too: a
+                // NaN-poisoned comparator corrupts analysis anywhere).
+                if name == "partial_cmp" {
+                    if let Some(tail) = match_partial_cmp_unwrap(tokens, i) {
+                        n001_tail[tail] = true;
+                        out.push(RawDiagnostic {
+                            rule: "N001",
+                            line: tok.line,
+                            col: tok.col,
+                            message: format!(
+                                "NaN-unsafe ordering: `partial_cmp(..).{}()` panics or \
+                                 misorders on NaN — use `f64::total_cmp` for a \
+                                 deterministic total order",
+                                tokens[tail].text
+                            ),
+                        });
+                    }
+                }
+                // P001 — unwrap()/panic! in non-test library code.
+                if !in_test {
+                    if name == "unwrap"
+                        && !n001_tail[i]
+                        && prev_is(tokens, i, TokKind::Punct('.'))
+                        && next_is(tokens, i, TokKind::Punct('('))
+                    {
+                        out.push(RawDiagnostic {
+                            rule: "P001",
+                            line: tok.line,
+                            col: tok.col,
+                            message: "`unwrap()` in library code: use `expect` with an \
+                                      invariant message, return a Result, or annotate \
+                                      why it cannot fail"
+                                .into(),
+                        });
+                    }
+                    if name == "panic" && next_is(tokens, i, TokKind::Punct('!')) {
+                        out.push(RawDiagnostic {
+                            rule: "P001",
+                            line: tok.line,
+                            col: tok.col,
+                            message: "`panic!` in library code: prefer a typed error, or \
+                                      annotate why aborting is the contract"
+                                .into(),
+                        });
+                    }
+                }
+            }
+            // N002 — float ==/!= against a float literal.
+            TokKind::EqEq | TokKind::Ne if !in_test && float_operand(tokens, i) => {
+                let op = if tok.kind == TokKind::EqEq {
+                    "=="
+                } else {
+                    "!="
+                };
+                out.push(RawDiagnostic {
+                    rule: "N002",
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "float `{op}` comparison against a literal: exact float \
+                         equality is fragile — compare with a tolerance, or \
+                         annotate the exact-sentinel intent"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when `tokens[i]` (an ident) is followed by `:: name` — detects
+/// `Instant::now`.
+fn is_path_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens
+        .get(i + 1)
+        .is_some_and(|t| t.kind == TokKind::Punct(':'))
+        && tokens
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokKind::Punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.text == name)
+}
+
+fn prev_is(tokens: &[Token], i: usize, kind: TokKind) -> bool {
+    i > 0 && tokens[i - 1].kind == kind
+}
+
+fn next_is(tokens: &[Token], i: usize, kind: TokKind) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.kind == kind)
+}
+
+/// Match `partial_cmp ( … ) . unwrap|expect (` starting at the
+/// `partial_cmp` ident; returns the index of the `unwrap`/`expect`
+/// ident. The argument scan is balanced-paren and bounded, so a
+/// pathological file cannot stall the pass.
+fn match_partial_cmp_unwrap(tokens: &[Token], i: usize) -> Option<usize> {
+    if !next_is(tokens, i, TokKind::Punct('(')) {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut depth = 0usize;
+    let limit = j + 256;
+    while j < tokens.len() && j < limit {
+        match tokens[j].kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= tokens.len() || tokens[j].kind != TokKind::Punct(')') {
+        return None;
+    }
+    // `. unwrap (` or `. expect (`
+    let dot = j + 1;
+    let name = j + 2;
+    if tokens
+        .get(dot)
+        .is_some_and(|t| t.kind == TokKind::Punct('.'))
+        && tokens
+            .get(name)
+            .is_some_and(|t| t.text == "unwrap" || t.text == "expect")
+        && tokens
+            .get(name + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct('('))
+    {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// True when either operand token adjacent to a `==`/`!=` is a float
+/// literal (tolerating one leading unary minus or open paren on the
+/// right).
+fn float_operand(tokens: &[Token], i: usize) -> bool {
+    if i > 0 && tokens[i - 1].kind == TokKind::Float {
+        return true;
+    }
+    let mut j = i + 1;
+    while tokens
+        .get(j)
+        .is_some_and(|t| matches!(t.kind, TokKind::Punct('-') | TokKind::Punct('(')))
+    {
+        j += 1;
+    }
+    tokens.get(j).is_some_and(|t| t.kind == TokKind::Float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<RawDiagnostic> {
+        run_rules(&FileContext::from_rel_path(path), &lex(src))
+    }
+
+    fn rules_fired(diags: &[RawDiagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn d001_only_in_sim_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/lib.rs", src)),
+            ["D001"]
+        );
+        assert!(run("crates/steering/src/lib.rs", src).is_empty());
+        assert!(run("crates/gridsim/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_catches_instant_now_but_not_instant_type() {
+        let hits = run("crates/md/src/x.rs", "let t = Instant::now();");
+        assert_eq!(rules_fired(&hits), ["D002"]);
+        assert!(run("crates/md/src/x.rs", "fn f(t: Instant) {}").is_empty());
+        assert!(run("crates/bench/src/x.rs", "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn n001_fires_even_in_tests_and_suppresses_p001() {
+        let src = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        assert_eq!(rules_fired(&run("crates/stats/src/d.rs", src)), ["N001"]);
+        assert_eq!(rules_fired(&run("crates/stats/tests/t.rs", src)), ["N001"]);
+        let src2 = "v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));";
+        assert_eq!(rules_fired(&run("crates/stats/src/d.rs", src2)), ["N001"]);
+    }
+
+    #[test]
+    fn n002_literal_float_equality() {
+        assert_eq!(
+            rules_fired(&run("crates/stats/src/d.rs", "if x == 0.0 {}")),
+            ["N002"]
+        );
+        assert_eq!(
+            rules_fired(&run("crates/stats/src/d.rs", "if 1e-9 != y {}")),
+            ["N002"]
+        );
+        // Integer equality is fine; var-vs-var floats are out of scope.
+        assert!(run("crates/stats/src/d.rs", "if n == 0 {}").is_empty());
+        assert!(run("crates/stats/src/d.rs", "if a == b {}").is_empty());
+    }
+
+    #[test]
+    fn p001_unwrap_and_panic_lib_only() {
+        assert_eq!(
+            rules_fired(&run("crates/md/src/x.rs", "let a = b.unwrap();")),
+            ["P001"]
+        );
+        assert_eq!(
+            rules_fired(&run("crates/md/src/x.rs", "panic!(\"boom\");")),
+            ["P001"]
+        );
+        assert!(run("crates/md/tests/t.rs", "let a = b.unwrap();").is_empty());
+        // unwrap_or_else is a different method.
+        assert!(run("crates/md/src/x.rs", "let a = b.unwrap_or_else(f);").is_empty());
+        // should_panic attribute text does not match panic!.
+        assert!(run("crates/md/src/x.rs", "#[should_panic(expected = \"x\")]").is_empty());
+    }
+
+    #[test]
+    fn inline_test_module_is_exempt() {
+        let src = "
+pub fn lib_code(v: Option<u32>) -> u32 { v.unwrap() }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let x: Option<u32> = None; x.unwrap(); }
+}
+";
+        let hits = run("crates/md/src/x.rs", src);
+        assert_eq!(rules_fired(&hits), ["P001"]);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn string_and_comment_bodies_never_fire() {
+        let src = "let s = \"thread_rng unwrap() == 0.0\"; // thread_rng unwrap()\n";
+        assert!(run("crates/md/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: real violations, each carrying a written allow — zero
+// diagnostics expected, and no A002 (every allow suppresses something).
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap() // spice-lint: allow(P001) caller guarantees non-empty
+}
+
+pub fn is_sentinel(x: f64) -> bool {
+    // spice-lint: allow(N002) exact sentinel comparison by design
+    x == -1.0
+}

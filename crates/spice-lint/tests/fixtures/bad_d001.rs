@@ -1,0 +1,4 @@
+// Known-bad fixture: nondeterministic map type in a simulation crate.
+pub fn tally(m: &std::collections::HashMap<u32, f64>) -> f64 {
+    m.values().sum()
+}

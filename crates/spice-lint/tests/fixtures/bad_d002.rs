@@ -1,0 +1,5 @@
+// Known-bad fixture: ambient entropy and wall-clock time.
+pub fn seed() -> u64 {
+    let _t = std::time::Instant::now();
+    rand::thread_rng().gen()
+}

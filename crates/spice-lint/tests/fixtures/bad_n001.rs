@@ -1,0 +1,4 @@
+// Known-bad fixture: NaN-unsafe ordering.
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

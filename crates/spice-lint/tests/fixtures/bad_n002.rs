@@ -1,0 +1,4 @@
+// Known-bad fixture: exact float equality against a literal.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

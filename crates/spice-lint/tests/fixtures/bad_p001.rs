@@ -1,0 +1,8 @@
+// Known-bad fixture: panicking library code without annotation.
+pub fn get(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    if *first > 10 {
+        panic!("too big");
+    }
+    *first
+}

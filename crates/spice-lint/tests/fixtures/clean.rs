@@ -1,0 +1,19 @@
+//! Clean fixture: deterministic idioms adjacent to every rule's target —
+//! zero diagnostics expected.
+use std::collections::BTreeMap;
+
+pub fn tally(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn near_zero(x: f64) -> bool {
+    x.abs() < 1e-12
+}
+
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,10 @@
+// Fixture: rule-shaped text inside strings and comments must never
+// fire. Mentions of HashMap, thread_rng(), unwrap(), x == 0.0, panic!
+pub fn describe() -> &'static str {
+    "uses HashMap, thread_rng, Instant::now, x == 0.0, unwrap() and panic!"
+}
+
+/* block comment: partial_cmp(b).unwrap() and SystemTime too */
+pub fn raw() -> &'static str {
+    r#"even raw strings: HashSet iteration, from_entropy, 1.0 != y"#
+}

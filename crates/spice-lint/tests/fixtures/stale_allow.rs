@@ -1,0 +1,3 @@
+// Fixture: the allow below suppresses nothing — A002 expected.
+// spice-lint: allow(D001) nothing here iterates a map
+pub fn noop() {}

@@ -17,6 +17,7 @@ pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
     }
     let m = crate::descriptive::mean(xs);
     let c0: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+    // spice-lint: allow(N002) exact-zero variance is the constant-series sentinel
     if c0 == 0.0 {
         return Vec::new();
     }
@@ -47,6 +48,7 @@ pub fn integrated_autocorr_time(xs: &[f64]) -> f64 {
     }
     let m = crate::descriptive::mean(xs);
     let c0: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+    // spice-lint: allow(N002) exact-zero variance is the constant-series sentinel
     if c0 == 0.0 {
         return f64::NAN;
     }

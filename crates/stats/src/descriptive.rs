@@ -37,13 +37,15 @@ pub fn std_error(xs: &[f64]) -> f64 {
 /// Linear-interpolated quantile of an **unsorted** slice, `q` in `[0, 1]`.
 ///
 /// Copies and sorts internally; intended for analysis-time use, not inner
-/// loops. Returns `NaN` for an empty slice or `q` outside `[0, 1]`.
+/// loops. Returns `NaN` for an empty slice or `q` outside `[0, 1]`. NaN
+/// samples sort deterministically after every finite value (`total_cmp`
+/// order) instead of poisoning the sort.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     if xs.is_empty() || !(0.0..=1.0).contains(&q) {
         return f64::NAN;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -191,6 +193,7 @@ impl RunningStats {
 
     /// Sample skewness (biased, population form).
     pub fn skewness(&self) -> f64 {
+        // spice-lint: allow(N002) exact-zero M2 sentinel: degenerate series
         if self.n < 2 || self.m2 == 0.0 {
             return f64::NAN;
         }
@@ -200,6 +203,7 @@ impl RunningStats {
 
     /// Excess kurtosis (population form; 0 for a Gaussian).
     pub fn kurtosis(&self) -> f64 {
+        // spice-lint: allow(N002) exact-zero M2 sentinel: degenerate series
         if self.n < 2 || self.m2 == 0.0 {
             return f64::NAN;
         }

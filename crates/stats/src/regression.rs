@@ -30,6 +30,7 @@ impl LinearFit {
         let mx = xs.iter().sum::<f64>() / nf;
         let my = ys.iter().sum::<f64>() / nf;
         let sxx: f64 = xs.iter().map(|&x| (x - mx) * (x - mx)).sum();
+        // spice-lint: allow(N002) exact-zero spread sentinel: all x identical
         if sxx == 0.0 {
             return None;
         }
@@ -37,6 +38,7 @@ impl LinearFit {
         let slope = sxy / sxx;
         let intercept = my - slope * mx;
         let syy: f64 = ys.iter().map(|&y| (y - my) * (y - my)).sum();
+        // spice-lint: allow(N002) exact-zero spread sentinel: all y identical
         let r_squared = if syy == 0.0 {
             1.0
         } else {

@@ -12,6 +12,7 @@ pub mod fig4_pmf;
 pub mod hidden_ip;
 pub mod imd_qos;
 pub mod reservations;
+pub mod resilience;
 pub mod subtrajectory;
 pub mod ti_extension;
 
@@ -34,6 +35,7 @@ pub fn run_all(scale: Scale, master_seed: u64) -> Vec<Report> {
         reservations::run(master_seed),
         ti_extension::run(scale, master_seed),
         bidirectional::run(scale, master_seed),
+        resilience::run(master_seed),
     ]
 }
 
@@ -44,7 +46,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_reports() {
         let reports = run_all(Scale::Test, 123);
-        assert_eq!(reports.len(), 12);
+        assert_eq!(reports.len(), 13);
         for r in &reports {
             assert!(!r.id.is_empty());
             assert!(!r.render().is_empty());
@@ -64,6 +66,7 @@ mod tests {
             "T-resv",
             "T-ti",
             "T-bidir",
+            "T-resil",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}: {ids:?}");
         }

@@ -1,0 +1,50 @@
+//! Runtime simulation sanitizer for the grid layer (the `audit` cargo
+//! feature; see DESIGN.md §10.2 and §11).
+//!
+//! Invariant checks installed at the resilience engine's decision points
+//! and compiled out of normal builds entirely. Every violation panics
+//! with a `spice-audit[layer.invariant]: ...` message naming what broke;
+//! `tests/audit_sanitizer.rs` drives each check with corrupted inputs to
+//! prove it fires.
+
+use crate::job::JobId;
+use crate::resource::SiteId;
+
+/// A job may never be running on two sites at once. Called with the
+/// engine's current placement immediately before a start is committed.
+pub fn check_single_site(job: JobId, already_running_on: Option<SiteId>, new_site: SiteId) {
+    if let Some(prev) = already_running_on {
+        // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+        panic!(
+            "spice-audit[gridsim.single_site]: job {job} starting on site \
+             {new_site} while still running on site {prev}"
+        );
+    }
+}
+
+/// Retries consumed must never exceed the policy bound. Called after
+/// every resubmission decision.
+pub fn check_retry_bound(job: JobId, retries_used: u32, max_retries: u32) {
+    if retries_used > max_retries {
+        // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+        panic!(
+            "spice-audit[gridsim.retry_bound]: job {job} consumed \
+             {retries_used} retries but the policy allows {max_retries}"
+        );
+    }
+}
+
+/// Checkpoint restart must never manufacture or destroy work: the saved
+/// progress is finite, non-negative, and strictly less than the work the
+/// killed attempt had left (a checkpoint at 100% would mean the job
+/// finished, not failed).
+pub fn check_restart_progress(job: JobId, saved_hours: f64, remaining_before: f64) {
+    if !saved_hours.is_finite() || saved_hours < 0.0 || saved_hours >= remaining_before {
+        // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+        panic!(
+            "spice-audit[gridsim.restart_progress]: job {job} checkpoint \
+             claims {saved_hours} h saved of {remaining_before} h remaining \
+             — restarted work would be non-positive"
+        );
+    }
+}

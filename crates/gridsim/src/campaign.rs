@@ -53,10 +53,23 @@ impl CampaignResult {
         self.makespan_hours / 24.0
     }
 
-    /// Mean queue wait (hours).
+    /// Mean queue wait (hours). An empty campaign (every job abandoned,
+    /// or no jobs at all) has zero mean wait, not NaN.
     pub fn mean_wait(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
         let waits: Vec<f64> = self.records.iter().map(JobRecord::wait).collect();
         spice_stats::mean(&waits)
+    }
+
+    /// Mean retries per completed job (0 when no records).
+    pub fn mean_retries(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let r: u32 = self.records.iter().map(JobRecord::retries).sum();
+        f64::from(r) / self.records.len() as f64
     }
 }
 
@@ -80,6 +93,23 @@ pub fn paper_production_jobs() -> Vec<Job> {
         .collect()
 }
 
+/// The outage history §V-C-4 reports around SC05: UK middleware churn
+/// left NGS-Leeds uncoordinatable for the first three weeks (so Oxford
+/// was the one usable UK node), and then "as luck would have it" that
+/// surviving node suffered a security breach at day 1 that took weeks to
+/// sanitize.
+pub fn sc05_outages() -> Vec<Outage> {
+    vec![
+        Outage::new(
+            4,
+            0.0,
+            504.0,
+            crate::failure::OutageCause::MiddlewareImmaturity,
+        ),
+        Outage::security_breach(3, 24.0, 3.0),
+    ]
+}
+
 impl Campaign {
     /// The paper's production campaign on the full US–UK federation.
     pub fn paper_batch_phase(seed: u64) -> Campaign {
@@ -88,6 +118,15 @@ impl Campaign {
             jobs: paper_production_jobs(),
             outages: Vec::new(),
             seed,
+        }
+    }
+
+    /// The production campaign under the SC05 outage history
+    /// ([`sc05_outages`]).
+    pub fn sc05_outage_phase(seed: u64) -> Campaign {
+        Campaign {
+            outages: sc05_outages(),
+            ..Campaign::paper_batch_phase(seed)
         }
     }
 
@@ -157,14 +196,14 @@ impl Campaign {
             let runtime = finish - start;
             profiles[si].commit(job.procs, start, start + runtime);
             jobs_per_site[si] += 1;
-            records.push(JobRecord {
-                job: job.id,
-                site: self.federation.sites[si].id,
-                submitted: job.release_hours,
-                started: start,
-                finished: finish,
-                procs: job.procs,
-            });
+            records.push(JobRecord::clean(
+                job.id,
+                self.federation.sites[si].id,
+                job.release_hours,
+                start,
+                finish,
+                job.procs,
+            ));
         }
 
         let makespan = records.iter().map(|r| r.finished).fold(0.0f64, f64::max);
@@ -275,6 +314,37 @@ mod tests {
             assert!(r.procs == 128 || r.procs == 256);
         }
         assert!(result.mean_wait() >= 0.0);
+    }
+
+    #[test]
+    fn empty_result_aggregates_are_zero_not_nan() {
+        // A campaign where every job was abandoned produces an empty
+        // record set; aggregates must degrade to 0.0, not NaN.
+        let empty = CampaignResult {
+            records: Vec::new(),
+            makespan_hours: 0.0,
+            cpu_hours: 0.0,
+            jobs_per_site: Vec::new(),
+        };
+        assert_eq!(empty.mean_wait(), 0.0);
+        assert_eq!(empty.mean_retries(), 0.0);
+        assert!(!empty.mean_wait().is_nan());
+    }
+
+    #[test]
+    fn sc05_outage_scenario_is_well_formed() {
+        let outs = sc05_outages();
+        assert_eq!(outs.len(), 2);
+        // Leeds (site 4) down for three weeks from campaign start.
+        assert_eq!(outs[0].site, 4);
+        assert_eq!(outs[0].duration(), 504.0);
+        // Oxford (site 3) breached at day 1, weeks-long sanitization.
+        assert_eq!(outs[1].site, 3);
+        assert_eq!(outs[1].cause, OutageCause::SecurityBreach);
+        assert!(outs[1].duration() >= 2.0 * 168.0);
+        let c = Campaign::sc05_outage_phase(1);
+        assert_eq!(c.outages, outs);
+        assert_eq!(c.jobs.len(), 72);
     }
 
     #[test]

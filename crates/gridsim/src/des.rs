@@ -7,37 +7,27 @@
 //! behaved, where nothing is clairvoyant. Comparing the two quantifies
 //! what 2005-era queue opportunism cost relative to a coordinated plan
 //! (the coordination gap §V-C-3 complains about).
+//!
+//! The execution engine itself lives in [`crate::resilience`]; this
+//! module's entry points run it in the failure-free configuration
+//! ([`crate::resilience::ResiliencePolicy::none`]), where outages simply
+//! block new starts and every job succeeds on its first attempt.
 
 use crate::campaign::{Campaign, CampaignResult};
-use crate::event::{EventQueue, SimTime};
-use crate::failure::blocked_windows;
-use crate::job::JobRecord;
-use crate::resource::SiteId;
-use crate::scheduler::fcfs::SiteScheduler;
-use spice_stats::rng::seed_stream;
+use crate::resilience::{run_resilient_with_dispatch, ResiliencePolicy};
 
 /// Job-placement policy of the federation dispatcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchPolicy {
     /// Greedy: cheapest estimated completion (queue wait + backlog +
-    /// runtime) — what a broker with site state can do.
+    /// runtime + known outage time) — what a broker with site state can
+    /// do.
     EarliestCompletion,
     /// Round-robin over sites that fit the job — state-free placement.
     RoundRobin,
     /// Seeded-random placement over fitting sites — the "no broker"
     /// baseline.
     Random,
-}
-
-#[derive(Debug)]
-enum Ev {
-    /// A job enters the dispatcher.
-    Submit(usize),
-    /// A job finishes on a site.
-    Finish(SiteId, u32),
-    /// A site recovers from an outage (or a job becomes queue-eligible):
-    /// re-attempt starts.
-    Poke(SiteId),
 }
 
 /// Execute a campaign through the discrete-event engine with the greedy
@@ -50,199 +40,7 @@ pub fn run_des(campaign: &Campaign) -> CampaignResult {
 /// Execute a campaign with an explicit dispatch policy (scheduling
 /// ablation: how much does broker intelligence buy on a federation?).
 pub fn run_des_with_policy(campaign: &Campaign, policy: DispatchPolicy) -> CampaignResult {
-    assert!(!campaign.jobs.is_empty() && !campaign.federation.sites.is_empty());
-    let nsites = campaign.federation.sites.len();
-    let mut schedulers: Vec<SiteScheduler> = campaign
-        .federation
-        .sites
-        .iter()
-        .map(|s| SiteScheduler::new(s.procs))
-        .collect();
-    // Outages: FCFS scheduler blocks starts until the latest outage end.
-    for (si, site) in campaign.federation.sites.iter().enumerate() {
-        for (start, end) in blocked_windows(&campaign.outages, site.id) {
-            // Conservative: the site refuses new starts from campaign
-            // begin if the outage begins within the campaign horizon.
-            let _ = start;
-            schedulers[si].set_down_until(end);
-        }
-    }
-
-    let mut q: EventQueue<Ev> = EventQueue::new();
-    for (ji, job) in campaign.jobs.iter().enumerate() {
-        q.schedule(SimTime::from_hours(job.release_hours), Ev::Submit(ji));
-    }
-
-    let mut records: Vec<JobRecord> = Vec::with_capacity(campaign.jobs.len());
-    let mut jobs_per_site = vec![0usize; nsites];
-    // Track pending work per site for the myopic dispatcher estimate.
-    let mut backlog_cpu_h = vec![0.0f64; nsites];
-    let mut rr_cursor = 0usize;
-
-    let try_start = |si: usize,
-                     now: f64,
-                     schedulers: &mut Vec<SiteScheduler>,
-                     q: &mut EventQueue<Ev>,
-                     records: &mut Vec<JobRecord>,
-                     jobs_per_site: &mut Vec<usize>| {
-        let site = &campaign.federation.sites[si];
-        let started = schedulers[si].try_start(now, |j| site.runtime(j.wall_hours));
-        for (job, finish) in started {
-            records.push(JobRecord {
-                job: job.id,
-                site: site.id,
-                submitted: job.release_hours,
-                started: now,
-                finished: finish,
-                procs: job.procs,
-            });
-            jobs_per_site[si] += 1;
-            q.schedule(SimTime::from_hours(finish), Ev::Finish(site.id, job.id));
-        }
-    };
-
-    #[cfg(feature = "audit")]
-    let mut submitted = 0usize;
-    while let Some((t, ev)) = q.pop() {
-        let now = t.hours();
-        match ev {
-            Ev::Submit(ji) => {
-                #[cfg(feature = "audit")]
-                {
-                    submitted += 1;
-                }
-                let job = &campaign.jobs[ji];
-                let fitting: Vec<usize> = campaign
-                    .federation
-                    .sites
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.fits(job.procs))
-                    .map(|(si, _)| si)
-                    .collect();
-                assert!(
-                    !fitting.is_empty(),
-                    "job {} fits nowhere in the federation",
-                    job.name
-                );
-                // One stochastic queue-wait sample per (job, site), used
-                // both for the dispatcher's estimate and as the applied
-                // wait — a single definition so they cannot diverge.
-                let wait_at = |si: usize| -> f64 {
-                    let u = (seed_stream(campaign.seed, (ji as u64) << 8 | si as u64) >> 11) as f64
-                        / (1u64 << 53) as f64;
-                    -campaign.federation.sites[si].mean_queue_wait * (1.0 - u).max(1e-12).ln()
-                };
-                let si = match policy {
-                    DispatchPolicy::EarliestCompletion => {
-                        // Myopic: cheapest estimated completion among
-                        // fitting sites, using current backlog.
-                        let mut best: Option<(usize, f64)> = None;
-                        for &si in &fitting {
-                            let site = &campaign.federation.sites[si];
-                            let est = wait_at(si)
-                                + backlog_cpu_h[si] / site.procs as f64
-                                + site.runtime(job.wall_hours);
-                            if best.is_none_or(|(_, b)| est < b) {
-                                best = Some((si, est));
-                            }
-                        }
-                        best.expect("fitting is non-empty").0
-                    }
-                    DispatchPolicy::RoundRobin => {
-                        let si = fitting[rr_cursor % fitting.len()];
-                        rr_cursor += 1;
-                        si
-                    }
-                    DispatchPolicy::Random => {
-                        let u = seed_stream(campaign.seed ^ 0x5EED, ji as u64);
-                        fitting[(u % fitting.len() as u64) as usize]
-                    }
-                };
-                let queue_wait = wait_at(si);
-                backlog_cpu_h[si] += job.cpu_hours();
-                schedulers[si].submit(job.clone(), now + queue_wait);
-                q.schedule(
-                    SimTime::from_hours(now + queue_wait),
-                    Ev::Poke(si as SiteId),
-                );
-            }
-            Ev::Finish(site_id, job_id) => {
-                let si = site_id as usize;
-                schedulers[si].finish(job_id);
-                if let Some(rec) = records.iter().find(|r| r.job == job_id) {
-                    backlog_cpu_h[si] -= rec.cpu_hours();
-                }
-                try_start(
-                    si,
-                    now,
-                    &mut schedulers,
-                    &mut q,
-                    &mut records,
-                    &mut jobs_per_site,
-                );
-            }
-            Ev::Poke(site_id) => {
-                let si = site_id as usize;
-                try_start(
-                    si,
-                    now,
-                    &mut schedulers,
-                    &mut q,
-                    &mut records,
-                    &mut jobs_per_site,
-                );
-                // If the site is down, re-poke at recovery time handled by
-                // the next Finish/Poke; ensure at least one retry after any
-                // active downtime by scheduling a poke at next_ready.
-                if schedulers[si].queued() > 0 {
-                    if let Some((_, f)) = schedulers[si].next_finish().filter(|&(_, f)| f > now) {
-                        q.schedule(SimTime::from_hours(f), Ev::Poke(site_id));
-                    } else {
-                        // Nothing running (site likely down): retry hourly.
-                        q.schedule(SimTime::from_hours(now + 1.0), Ev::Poke(site_id));
-                    }
-                }
-            }
-        }
-        // Audit: every job handed to the federation is still accounted
-        // for — sitting in some site queue or already started (a record
-        // exists for running and finished jobs alike).
-        #[cfg(feature = "audit")]
-        {
-            let queued: usize = schedulers.iter().map(SiteScheduler::queued).sum();
-            if queued + records.len() != submitted {
-                // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
-                panic!(
-                    "spice-audit[gridsim.job_conservation]: {submitted} jobs \
-                     submitted but {queued} queued + {} started",
-                    records.len()
-                );
-            }
-        }
-    }
-
-    assert_eq!(
-        records.len(),
-        campaign.jobs.len(),
-        "DES lost jobs: {} of {}",
-        records.len(),
-        campaign.jobs.len()
-    );
-    let makespan = records.iter().map(|r| r.finished).fold(0.0f64, f64::max);
-    let cpu_hours = records.iter().map(JobRecord::cpu_hours).sum();
-    CampaignResult {
-        records,
-        makespan_hours: makespan,
-        cpu_hours,
-        jobs_per_site: campaign
-            .federation
-            .sites
-            .iter()
-            .zip(&jobs_per_site)
-            .map(|(s, &n)| (s.id, n))
-            .collect(),
-    }
+    run_resilient_with_dispatch(campaign, &ResiliencePolicy::none(), policy).result
 }
 
 #[cfg(test)]
@@ -334,6 +132,8 @@ mod tests {
         for rec in &r.records {
             assert!(rec.finished > rec.started);
             assert!(rec.started >= rec.submitted);
+            assert_eq!(rec.attempts, 1, "failure-free run must not retry");
+            assert_eq!(rec.lost_cpu_hours, 0.0);
         }
     }
 }

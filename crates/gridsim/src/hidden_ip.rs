@@ -84,6 +84,29 @@ pub fn connect_inbound(
     }
 }
 
+/// Connectivity a steering-coupled job gets at `site`: `Ok(None)` means
+/// the external steering host can reach the master process directly,
+/// `Ok(Some(gateway))` means the connection must be routed through the
+/// site's gateway installation (and is therefore exposed to gateway
+/// connection drops), `Err` means the site cannot host coupled runs at
+/// all — the §V-C-2 situation that made HPCx unusable for them.
+pub fn steering_connectivity(site: &Site) -> Result<Option<Gateway>, ConnectError> {
+    let gateway = if site.has_gateway {
+        Some(Gateway::psc())
+    } else {
+        None
+    };
+    connect_inbound(site, gateway.as_ref(), Protocol::Tcp).map(
+        |routed| {
+            if routed {
+                gateway
+            } else {
+                None
+            }
+        },
+    )
+}
+
 /// Build the effective network path for a (possibly gateway-routed)
 /// connection: `base` is the site-to-peer wide-area link; when routed,
 /// the gateway hop is prepended and the shared-gateway bandwidth cap
@@ -164,6 +187,22 @@ mod tests {
         assert!(
             routed.bandwidth_mbps() < direct.bandwidth_mbps(),
             "gateway must be the bottleneck under load"
+        );
+    }
+
+    #[test]
+    fn steering_connectivity_matches_site_topology() {
+        // NCSA: public nodes — direct connection, no gateway exposure.
+        assert_eq!(steering_connectivity(&site("NCSA")), Ok(None));
+        // PSC: hidden IPs bridged by AGN — routed, drop-exposed.
+        match steering_connectivity(&site("PSC")) {
+            Ok(Some(gw)) => assert_eq!(gw, Gateway::psc()),
+            other => panic!("PSC must be gateway-routed, got {other:?}"),
+        }
+        // HPCx: hidden, no gateway — coupled runs infeasible.
+        assert_eq!(
+            steering_connectivity(&site("HPCx")),
+            Err(ConnectError::HiddenNoGateway)
         );
     }
 

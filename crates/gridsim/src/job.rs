@@ -22,10 +22,15 @@ pub struct Job {
     pub wall_hours: f64,
     /// Earliest start (hours from campaign begin).
     pub release_hours: f64,
+    /// Steering-coupled: the master process must hold a live connection
+    /// to an external visualization/steering host for the whole run, so
+    /// the job is subject to the hidden-IP/gateway connectivity model
+    /// (§V-C-1) and to gateway connection drops.
+    pub coupled: bool,
 }
 
 impl Job {
-    /// Construct a job.
+    /// Construct a (batch, uncoupled) job.
     ///
     /// # Panics
     /// Panics on zero processors or non-positive duration.
@@ -38,7 +43,14 @@ impl Job {
             procs,
             wall_hours,
             release_hours: 0.0,
+            coupled: false,
         }
+    }
+
+    /// Mark the job steering-coupled (builder style).
+    pub fn steering_coupled(mut self) -> Job {
+        self.coupled = true;
+        self
     }
 
     /// CPU-hours consumed on a reference-speed site.
@@ -47,7 +59,10 @@ impl Job {
     }
 }
 
-/// Execution record of a completed job.
+/// Execution record of a completed job. `site`/`started`/`finished`
+/// describe the *successful* attempt; `attempts` and `lost_cpu_hours`
+/// summarize the failed attempts that preceded it (both trivial — 1 and
+/// 0.0 — when the campaign runs without a failure model).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
 pub struct JobRecord {
     /// Which job.
@@ -62,22 +77,54 @@ pub struct JobRecord {
     pub finished: f64,
     /// Processors used.
     pub procs: u32,
+    /// Total execution attempts (1 = succeeded first try).
+    pub attempts: u32,
+    /// Reference-normalized CPU-hours burned by failed attempts and lost
+    /// (uncheckpointed) segments before the successful run.
+    pub lost_cpu_hours: f64,
 }
 
 impl JobRecord {
-    /// Queue wait (h).
+    /// Record of a clean first-attempt execution.
+    pub fn clean(
+        job: JobId,
+        site: crate::resource::SiteId,
+        submitted: f64,
+        started: f64,
+        finished: f64,
+        procs: u32,
+    ) -> JobRecord {
+        JobRecord {
+            job,
+            site,
+            submitted,
+            started,
+            finished,
+            procs,
+            attempts: 1,
+            lost_cpu_hours: 0.0,
+        }
+    }
+
+    /// Queue wait (h): first submission to the successful start, so for a
+    /// retried job this includes backoff delays and failed attempts.
     pub fn wait(&self) -> f64 {
         self.started - self.submitted
     }
 
-    /// Execution time (h).
+    /// Execution time (h) of the successful attempt.
     pub fn runtime(&self) -> f64 {
         self.finished - self.started
     }
 
-    /// CPU-hours actually consumed.
+    /// CPU-hours consumed by the successful attempt.
     pub fn cpu_hours(&self) -> f64 {
         self.runtime() * self.procs as f64
+    }
+
+    /// Retries consumed (attempts after the first).
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
     }
 }
 
@@ -99,16 +146,19 @@ mod tests {
 
     #[test]
     fn record_accounting() {
-        let r = JobRecord {
-            job: 1,
-            site: 0,
-            submitted: 0.0,
-            started: 2.0,
-            finished: 14.0,
-            procs: 128,
-        };
+        let r = JobRecord::clean(1, 0, 0.0, 2.0, 14.0, 128);
         assert_eq!(r.wait(), 2.0);
         assert_eq!(r.runtime(), 12.0);
         assert_eq!(r.cpu_hours(), 1536.0);
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.retries(), 0);
+        assert_eq!(r.lost_cpu_hours, 0.0);
+    }
+
+    #[test]
+    fn coupled_builder() {
+        let j = Job::new(1, "imd", 256, 2.0);
+        assert!(!j.coupled);
+        assert!(j.steering_coupled().coupled);
     }
 }

@@ -20,21 +20,30 @@
 //! * [`hidden_ip`] — the hidden-IP addressability problem and PSC-style
 //!   gateway nodes (qsockets/AGN: TCP-only, shared-gateway bottleneck;
 //!   §V-C-1).
-//! * [`failure`] — outage injection, including the security-breach
-//!   scenario that removed the single usable UK node for weeks (§V-C-4).
+//! * [`failure`] — outage injection (including the security-breach
+//!   scenario that removed the single usable UK node for weeks, §V-C-4)
+//!   and the seeded per-job stochastic failure model (launch failures,
+//!   node crashes, gateway connection drops).
 //! * [`campaign`] — the production batch phase: map the paper's 72
 //!   simulations onto the federation and measure makespan and CPU-hours
 //!   (T-batch: < 1 week, ~75,000 CPU-hours).
 //! * [`des`] — event-driven (non-clairvoyant) execution of the same
 //!   campaign through FCFS queues, for plan-vs-reality ablations.
+//! * [`resilience`] — fault-tolerant campaign execution: failure
+//!   injection, explicit Drain/Kill outage semantics, checkpoint/restart
+//!   and retry-with-failover, with goodput/badput accounting.
 //! * [`metrics`] — utilization, wait-time and makespan accounting.
-//! * [`trace`] — text Gantt charts and job listings of campaign runs.
+//! * [`trace`] — text Gantt charts and job/failure listings of campaign
+//!   runs.
 //!
 //! Everything is deterministic under a seed; stochastic elements (queue
-//! waits, jitter, human booking errors) use `spice-stats` seed streams.
+//! waits, jitter, human booking errors, failures) use `spice-stats` seed
+//! streams.
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod campaign;
 pub mod des;
 pub mod event;
@@ -44,13 +53,18 @@ pub mod hidden_ip;
 pub mod job;
 pub mod metrics;
 pub mod network;
+pub mod resilience;
 pub mod resource;
 pub mod scheduler;
 pub mod trace;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use event::{EventQueue, SimTime};
-pub use failure::Outage;
+pub use failure::{FailureEvent, FailureKind, FailureModel, Outage};
 pub use federation::{Federation, Grid};
-pub use job::{Job, JobId};
+pub use job::{Job, JobId, JobRecord};
+pub use resilience::{
+    run_resilient, run_resilient_with_dispatch, CheckpointPolicy, OutagePolicy, ResiliencePolicy,
+    ResilientResult, RetryPolicy,
+};
 pub use resource::{Site, SiteId};

@@ -1,8 +1,11 @@
-//! Campaign metrics: utilization, wait statistics, throughput.
+//! Campaign metrics: utilization, wait statistics, throughput, and
+//! resilience accounting (goodput vs badput).
 
 use crate::campaign::CampaignResult;
+use crate::failure::FailureKind;
 use crate::federation::Federation;
 use crate::job::JobRecord;
+use crate::resilience::ResilientResult;
 
 /// Per-site utilization over the campaign makespan: committed CPU-hours /
 /// (procs × makespan). Returns `(site_id, utilization)` pairs.
@@ -35,13 +38,45 @@ pub fn throughput_per_day(result: &CampaignResult) -> f64 {
 }
 
 /// Distribution summary of queue waits: (mean, median, max) in hours.
+/// All three are 0.0 for an empty record set (no NaN propagation).
 pub fn wait_summary(result: &CampaignResult) -> (f64, f64, f64) {
+    if result.records.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
     let waits: Vec<f64> = result.records.iter().map(JobRecord::wait).collect();
     (
         spice_stats::mean(&waits),
         spice_stats::descriptive::median(&waits),
         waits.iter().cloned().fold(0.0, f64::max),
     )
+}
+
+/// Resilience summary of a campaign execution: `(goodput CPU-h, badput
+/// CPU-h, badput fraction, mean retries per job, completion fraction)`.
+pub fn resilience_summary(result: &ResilientResult) -> (f64, f64, f64, f64, f64) {
+    (
+        result.goodput_cpu_hours,
+        result.badput_cpu_hours,
+        result.badput_fraction(),
+        result.retries_per_job(),
+        result.completion_fraction(),
+    )
+}
+
+/// CPU-hours lost per failure kind over a resilient execution. Returns
+/// `(kind, events, lost_cpu_hours)` for each kind that occurred.
+pub fn loss_by_kind(result: &ResilientResult) -> Vec<(FailureKind, usize, f64)> {
+    let mut out: Vec<(FailureKind, usize, f64)> = Vec::new();
+    for f in &result.failures {
+        match out.iter_mut().find(|(k, _, _)| *k == f.kind) {
+            Some((_, n, lost)) => {
+                *n += 1;
+                *lost += f.lost_cpu_hours;
+            }
+            None => out.push((f.kind, 1, f.lost_cpu_hours)),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -81,5 +116,38 @@ mod tests {
         let (mean, median, max) = wait_summary(&r);
         assert!(max >= mean && max >= median);
         assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn wait_summary_empty_is_zero() {
+        let empty = CampaignResult {
+            records: Vec::new(),
+            makespan_hours: 0.0,
+            cpu_hours: 0.0,
+            jobs_per_site: Vec::new(),
+        };
+        assert_eq!(wait_summary(&empty), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn resilience_summary_is_consistent() {
+        let c = Campaign::sc05_outage_phase(5);
+        let r = crate::resilience::run_resilient(
+            &c,
+            &crate::resilience::ResiliencePolicy::checkpoint_failover(),
+        );
+        let (good, bad, frac, retries, completion) = resilience_summary(&r);
+        assert!(good > 0.0);
+        assert!(bad > 0.0, "sc05 scenario must burn badput");
+        assert!((frac - bad / (good + bad)).abs() < 1e-12);
+        assert!(retries > 0.0);
+        assert!(completion > 0.9);
+        // loss_by_kind partitions the failure log.
+        let by_kind = loss_by_kind(&r);
+        let n: usize = by_kind.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(n, r.failures.len());
+        let lost: f64 = by_kind.iter().map(|(_, _, l)| l).sum();
+        let total: f64 = r.failures.iter().map(|f| f.lost_cpu_hours).sum();
+        assert!((lost - total).abs() < 1e-9);
     }
 }

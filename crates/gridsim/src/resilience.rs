@@ -1,0 +1,1111 @@
+//! Fault-tolerant campaign execution: failure injection, checkpoint /
+//! restart, and retry-with-failover across the federation.
+//!
+//! Section V of the paper is a catalogue of real grid failures — launch
+//! failures from immature middleware (§V-C-2), a security breach that
+//! removed the only coordinated UK node for weeks (§V-C-4), and gateway
+//! connection failures for steering-coupled runs (§V-C-1). This module
+//! executes a [`Campaign`] through the discrete-event engine under a
+//! [`ResiliencePolicy`] combining four knobs:
+//!
+//! * a seeded per-job [`FailureModel`] (launch failures, mid-run node
+//!   crashes, gateway drops for coupled jobs),
+//! * explicit [`OutagePolicy`] semantics — `Drain` lets in-flight work
+//!   finish, `Kill` terminates it, replacing the old FCFS "assume
+//!   checkpoint-protected and resume" shortcut,
+//! * a [`CheckpointPolicy`] with periodic checkpoints and per-checkpoint
+//!   overhead, so a killed job restarts from its last checkpoint instead
+//!   of from scratch,
+//! * a [`RetryPolicy`] with bounded retries, exponential backoff, and
+//!   site blacklisting + failover migration to another federation site.
+//!
+//! All progress accounting is in *reference* hours (site-independent):
+//! an attempt that ran `e` on-site hours on a site of speed `s` made
+//! `e·s` reference hours of gross progress. Goodput is the reference
+//! CPU-hours of completed science; badput is everything else the
+//! campaign burned (failed attempts, lost segments, checkpoint
+//! overhead). Everything is bit-deterministic under the campaign seed.
+
+use crate::campaign::{Campaign, CampaignResult};
+use crate::des::DispatchPolicy;
+use crate::event::{EventQueue, SimTime};
+use crate::failure::{FailureEvent, FailureKind, FailureModel};
+use crate::hidden_ip::steering_connectivity;
+use crate::job::{JobId, JobRecord};
+use crate::scheduler::fcfs::SiteScheduler;
+use serde::{Deserialize, Serialize};
+use spice_stats::rng::{seed_stream, unit_f64};
+
+/// What happens to a site's in-flight work when an outage begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutagePolicy {
+    /// Running jobs finish on schedule; only new starts are blocked (the
+    /// optimistic semantics the old FCFS model assumed for every
+    /// outage).
+    Drain,
+    /// Running jobs are killed and queued submissions are lost — a
+    /// security breach or hardware failure takes everything down.
+    Kill,
+}
+
+/// Periodic application-level checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Reference hours of progress between checkpoints (`None` = no
+    /// checkpointing: a killed job restarts from scratch).
+    pub interval_hours: Option<f64>,
+    /// Reference hours each checkpoint write costs (added to runtime).
+    pub overhead_hours: f64,
+}
+
+impl CheckpointPolicy {
+    /// No checkpointing.
+    pub fn none() -> CheckpointPolicy {
+        CheckpointPolicy {
+            interval_hours: None,
+            overhead_hours: 0.0,
+        }
+    }
+
+    /// Checkpoint every `interval_hours` of progress, paying
+    /// `overhead_hours` per checkpoint.
+    ///
+    /// # Panics
+    /// Panics on a non-positive interval or negative overhead.
+    pub fn periodic(interval_hours: f64, overhead_hours: f64) -> CheckpointPolicy {
+        assert!(interval_hours > 0.0, "checkpoint interval must be positive");
+        assert!(
+            overhead_hours >= 0.0,
+            "checkpoint overhead must be non-negative"
+        );
+        CheckpointPolicy {
+            interval_hours: Some(interval_hours),
+            overhead_hours,
+        }
+    }
+
+    /// Checkpoints written during a run with `work` reference hours left
+    /// (one per completed interval; none at job end — the final state is
+    /// the result itself).
+    pub fn checkpoints_during(&self, work: f64) -> u32 {
+        match self.interval_hours {
+            None => 0,
+            Some(i) => {
+                if work <= i {
+                    0
+                } else {
+                    (work / i).ceil() as u32 - 1
+                }
+            }
+        }
+    }
+
+    /// Gross reference hours to execute `work` remaining hours,
+    /// including checkpoint overhead.
+    pub fn gross_hours(&self, work: f64) -> f64 {
+        work + f64::from(self.checkpoints_during(work)) * self.overhead_hours
+    }
+
+    /// Progress preserved when an attempt with `work` reference hours
+    /// left is killed after `gross_done` gross reference hours: the last
+    /// completed checkpoint. Always in `[0, work)`.
+    pub fn saved_progress(&self, gross_done: f64, work: f64) -> f64 {
+        match self.interval_hours {
+            None => 0.0,
+            Some(i) => {
+                let per_segment = i + self.overhead_hours;
+                let completed = (gross_done / per_segment).floor().max(0.0);
+                let cap = f64::from(self.checkpoints_during(work));
+                completed.min(cap) * i
+            }
+        }
+    }
+}
+
+/// Bounded resubmission with exponential backoff, blacklisting and
+/// failover.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Resubmissions allowed after the first attempt; a job that fails
+    /// with all retries spent is abandoned.
+    pub max_retries: u32,
+    /// Backoff before the first resubmission (hours).
+    pub backoff_base_hours: f64,
+    /// Multiplier applied per additional failure.
+    pub backoff_factor: f64,
+    /// Floor on any resubmission delay (hours) — resubmission is never
+    /// instantaneous.
+    pub min_resubmit_delay_hours: f64,
+    /// Per-job failures at one site before that site is avoided for the
+    /// job (0 disables blacklisting). Only effective with `failover`.
+    pub blacklist_threshold: u32,
+    /// May the job migrate to a different federation site on retry? When
+    /// false, every retry goes back to the originally chosen site.
+    pub failover: bool,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_hours: 0.0,
+            backoff_factor: 1.0,
+            min_resubmit_delay_hours: 0.0,
+            blacklist_threshold: 0,
+            failover: false,
+        }
+    }
+
+    /// Resubmission delay after `failures` failures (≥ 1).
+    pub fn backoff_hours(&self, failures: u32) -> f64 {
+        let exponent = failures.saturating_sub(1).min(20);
+        let b = self.backoff_base_hours * self.backoff_factor.powi(exponent as i32);
+        b.max(self.min_resubmit_delay_hours)
+    }
+}
+
+/// The full resilience configuration of a campaign execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// In-flight work semantics when an outage begins.
+    pub outage: OutagePolicy,
+    /// Checkpoint/restart behaviour.
+    pub checkpoint: CheckpointPolicy,
+    /// Resubmission behaviour.
+    pub retry: RetryPolicy,
+    /// Stochastic per-job failure environment.
+    pub failures: FailureModel,
+}
+
+impl ResiliencePolicy {
+    /// Failure-free baseline: no stochastic failures, outages drain.
+    /// Reproduces the pre-resilience DES behaviour.
+    pub fn none() -> ResiliencePolicy {
+        ResiliencePolicy {
+            outage: OutagePolicy::Drain,
+            checkpoint: CheckpointPolicy::none(),
+            retry: RetryPolicy::none(),
+            failures: FailureModel::none(),
+        }
+    }
+
+    /// The 2005 status quo: outages kill work, no checkpoints, and the
+    /// campaign manager doggedly resubmits to the same site with no
+    /// backoff intelligence.
+    pub fn naive() -> ResiliencePolicy {
+        ResiliencePolicy {
+            outage: OutagePolicy::Kill,
+            checkpoint: CheckpointPolicy::none(),
+            retry: RetryPolicy {
+                max_retries: 1000,
+                backoff_base_hours: 0.1,
+                backoff_factor: 1.0,
+                min_resubmit_delay_hours: 0.1,
+                blacklist_threshold: 0,
+                failover: false,
+            },
+            failures: FailureModel::sc05(),
+        }
+    }
+
+    /// Bounded retries with exponential backoff, blacklisting and
+    /// failover migration — but restarts are from scratch.
+    pub fn retry_only() -> ResiliencePolicy {
+        ResiliencePolicy {
+            outage: OutagePolicy::Kill,
+            checkpoint: CheckpointPolicy::none(),
+            retry: RetryPolicy {
+                max_retries: 12,
+                backoff_base_hours: 0.25,
+                backoff_factor: 2.0,
+                min_resubmit_delay_hours: 0.1,
+                blacklist_threshold: 2,
+                failover: true,
+            },
+            failures: FailureModel::sc05(),
+        }
+    }
+
+    /// Everything: periodic checkpoints (hourly, ~36 s overhead each —
+    /// MD restart files are cheap to write) on top of
+    /// [`ResiliencePolicy::retry_only`]'s retry machinery.
+    pub fn checkpoint_failover() -> ResiliencePolicy {
+        ResiliencePolicy {
+            checkpoint: CheckpointPolicy::periodic(1.0, 0.01),
+            ..ResiliencePolicy::retry_only()
+        }
+    }
+}
+
+/// Result of a resilient campaign execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilientResult {
+    /// The completed-job campaign result (records carry per-job attempt
+    /// and lost-CPU accounting).
+    pub result: CampaignResult,
+    /// Every failed attempt, in event order.
+    pub failures: Vec<FailureEvent>,
+    /// Jobs that exhausted their retries.
+    pub abandoned: Vec<JobId>,
+    /// Reference CPU-hours of completed science.
+    pub goodput_cpu_hours: f64,
+    /// Reference CPU-hours burned on failed attempts, lost segments and
+    /// checkpoint overhead (includes partial work of abandoned jobs).
+    pub badput_cpu_hours: f64,
+    /// Total resubmissions across the campaign.
+    pub total_retries: u32,
+}
+
+impl ResilientResult {
+    /// Fraction of jobs that completed.
+    pub fn completion_fraction(&self) -> f64 {
+        let total = self.result.records.len() + self.abandoned.len();
+        if total == 0 {
+            return 1.0;
+        }
+        self.result.records.len() as f64 / total as f64
+    }
+
+    /// Mean retries per job (over all jobs, completed or not).
+    pub fn retries_per_job(&self) -> f64 {
+        let total = self.result.records.len() + self.abandoned.len();
+        if total == 0 {
+            return 0.0;
+        }
+        f64::from(self.total_retries) / total as f64
+    }
+
+    /// Badput as a fraction of all CPU-hours consumed.
+    pub fn badput_fraction(&self) -> f64 {
+        let consumed = self.goodput_cpu_hours + self.badput_cpu_hours;
+        if consumed <= 0.0 {
+            return 0.0;
+        }
+        self.badput_cpu_hours / consumed
+    }
+
+    /// Makespan relative to a failure-free baseline makespan.
+    pub fn makespan_inflation(&self, baseline_hours: f64) -> f64 {
+        self.result.makespan_hours / baseline_hours.max(1e-12)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// A job (first submission or retry) enters the dispatcher.
+    Submit(usize),
+    /// Attempt `attempt` of job `ji` completes on site `si`.
+    Finish { si: usize, ji: usize, attempt: u32 },
+    /// Attempt `attempt` of job `ji` dies mid-run on site `si`.
+    Fail {
+        si: usize,
+        ji: usize,
+        attempt: u32,
+        kind: FailureKind,
+    },
+    /// Outage `oi` (index into the campaign's outage list) begins.
+    OutageStart(usize),
+    /// The site at index `si` recovers: re-attempt starts.
+    OutageEnd(usize),
+    /// Re-attempt starts at site index `si`.
+    Poke(usize),
+}
+
+#[derive(Debug, Clone)]
+struct JobState {
+    /// Current attempt, 1-based.
+    attempt: u32,
+    /// Reference hours of work left (excluding checkpoint overhead).
+    remaining: f64,
+    /// Reference CPU-hours consumed across all attempts so far.
+    consumed_ref_cpu_h: f64,
+    /// Amount currently added to the site backlog estimate.
+    backlog_contrib: f64,
+    /// Failures of this job per site index (for blacklisting).
+    site_failures: Vec<u32>,
+    /// Site index + start time of the in-flight attempt, if running.
+    running: Option<(usize, f64)>,
+    /// Site index of the most recent placement.
+    last_site: Option<usize>,
+    done: bool,
+    abandoned: bool,
+}
+
+/// Salt for resubmission queue-wait streams (first attempts reuse the
+/// original DES stream so a failure-free resilient run is identical to
+/// the plain DES).
+const RESUBMIT_SALT: u64 = 0x5245_5355_424D_4954;
+
+struct Engine<'a> {
+    campaign: &'a Campaign,
+    policy: &'a ResiliencePolicy,
+    dispatch: DispatchPolicy,
+    schedulers: Vec<SiteScheduler>,
+    states: Vec<JobState>,
+    records: Vec<JobRecord>,
+    failures: Vec<FailureEvent>,
+    abandoned: Vec<JobId>,
+    jobs_per_site: Vec<usize>,
+    backlog_cpu_h: Vec<f64>,
+    rr_cursor: usize,
+    total_retries: u32,
+    q: EventQueue<Ev>,
+    #[cfg(feature = "audit")]
+    pending_submits: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(campaign: &'a Campaign, policy: &'a ResiliencePolicy, dispatch: DispatchPolicy) -> Self {
+        let nsites = campaign.federation.sites.len();
+        let states = campaign
+            .jobs
+            .iter()
+            .map(|j| JobState {
+                attempt: 1,
+                remaining: j.wall_hours,
+                consumed_ref_cpu_h: 0.0,
+                backlog_contrib: 0.0,
+                site_failures: vec![0; nsites],
+                running: None,
+                last_site: None,
+                done: false,
+                abandoned: false,
+            })
+            .collect();
+        Engine {
+            campaign,
+            policy,
+            dispatch,
+            schedulers: campaign
+                .federation
+                .sites
+                .iter()
+                .map(|s| SiteScheduler::new(s.procs))
+                .collect(),
+            states,
+            records: Vec::with_capacity(campaign.jobs.len()),
+            failures: Vec::new(),
+            abandoned: Vec::new(),
+            jobs_per_site: vec![0; nsites],
+            backlog_cpu_h: vec![0.0; nsites],
+            rr_cursor: 0,
+            total_retries: 0,
+            q: EventQueue::new(),
+            #[cfg(feature = "audit")]
+            pending_submits: 0,
+        }
+    }
+
+    fn job_index(&self, id: JobId) -> usize {
+        self.campaign
+            .jobs
+            .iter()
+            .position(|j| j.id == id)
+            .expect("job id unknown to the campaign")
+    }
+
+    fn site_index(&self, id: crate::resource::SiteId) -> Option<usize> {
+        self.campaign
+            .federation
+            .sites
+            .iter()
+            .position(|s| s.id == id)
+    }
+
+    /// The single stochastic queue-wait sample for `(job, site, attempt)`
+    /// — used both for the dispatcher's estimate and as the applied wait,
+    /// so they cannot diverge.
+    fn wait_sample(&self, ji: usize, si: usize, attempt: u32) -> f64 {
+        let index = (ji as u64) << 8 | si as u64;
+        let bits = if attempt == 1 {
+            seed_stream(self.campaign.seed, index)
+        } else {
+            seed_stream(
+                self.campaign.seed ^ RESUBMIT_SALT,
+                index | u64::from(attempt) << 32,
+            )
+        };
+        let u = unit_f64(bits);
+        -self.campaign.federation.sites[si].mean_queue_wait * (1.0 - u).max(1e-12).ln()
+    }
+
+    /// Remaining on-site runtime of job `ji` at site `si`, checkpoint
+    /// overhead included.
+    fn runtime_on(&self, ji: usize, si: usize) -> f64 {
+        self.policy
+            .checkpoint
+            .gross_hours(self.states[ji].remaining)
+            / self.campaign.federation.sites[si].speed
+    }
+
+    /// Hours of outage left at `si` as of `now` (the broker reads the
+    /// site status page before placing work).
+    fn outage_remaining(&self, si: usize, now: f64) -> f64 {
+        let id = self.campaign.federation.sites[si].id;
+        self.campaign
+            .outages
+            .iter()
+            .filter(|o| o.site == id && o.covers(now))
+            .map(|o| o.end - now)
+            .fold(0.0, f64::max)
+    }
+
+    fn handle_submit(&mut self, ji: usize, now: f64) {
+        #[cfg(feature = "audit")]
+        {
+            self.pending_submits -= 1;
+        }
+        let job = &self.campaign.jobs[ji];
+        let sites = &self.campaign.federation.sites;
+        let fitting: Vec<usize> = (0..sites.len())
+            .filter(|&si| {
+                sites[si].fits(job.procs)
+                    && (!job.coupled || steering_connectivity(&sites[si]).is_ok())
+            })
+            .collect();
+        assert!(
+            !fitting.is_empty(),
+            "job {} ({} procs{}) fits nowhere in the federation",
+            job.name,
+            job.procs,
+            if job.coupled {
+                ", steering-coupled"
+            } else {
+                ""
+            }
+        );
+
+        // Retry placement: without failover the job is pinned to its
+        // original site; with failover, blacklisted sites are avoided
+        // (unless every option is blacklisted — then retry anywhere).
+        let st = &self.states[ji];
+        let candidates: Vec<usize> = if !self.policy.retry.failover {
+            match st.last_site {
+                Some(si) => vec![si],
+                None => fitting.clone(),
+            }
+        } else if self.policy.retry.blacklist_threshold > 0 {
+            let open: Vec<usize> = fitting
+                .iter()
+                .copied()
+                .filter(|&si| st.site_failures[si] < self.policy.retry.blacklist_threshold)
+                .collect();
+            if open.is_empty() {
+                fitting.clone()
+            } else {
+                open
+            }
+        } else {
+            fitting.clone()
+        };
+
+        let attempt = st.attempt;
+        let si = match self.dispatch {
+            DispatchPolicy::EarliestCompletion => {
+                // Myopic: cheapest estimated completion among candidate
+                // sites, using current backlog and known outage state.
+                let mut best: Option<(usize, f64)> = None;
+                for &si in &candidates {
+                    let est = self.wait_sample(ji, si, attempt)
+                        + self.backlog_cpu_h[si] / f64::from(sites[si].procs)
+                        + self.runtime_on(ji, si)
+                        + self.outage_remaining(si, now);
+                    if best.is_none_or(|(_, b)| est < b) {
+                        best = Some((si, est));
+                    }
+                }
+                best.expect("candidates is non-empty").0
+            }
+            DispatchPolicy::RoundRobin => {
+                let si = candidates[self.rr_cursor % candidates.len()];
+                self.rr_cursor += 1;
+                si
+            }
+            DispatchPolicy::Random => {
+                let index = if attempt == 1 {
+                    ji as u64
+                } else {
+                    ji as u64 | u64::from(attempt) << 32
+                };
+                let u = seed_stream(self.campaign.seed ^ 0x5EED, index);
+                candidates[(u % candidates.len() as u64) as usize]
+            }
+        };
+
+        let queue_wait = self.wait_sample(ji, si, attempt);
+        let contrib = self
+            .policy
+            .checkpoint
+            .gross_hours(self.states[ji].remaining)
+            * f64::from(job.procs);
+        let st = &mut self.states[ji];
+        st.backlog_contrib = contrib;
+        st.last_site = Some(si);
+        self.backlog_cpu_h[si] += contrib;
+        self.schedulers[si].submit(job.clone(), now + queue_wait);
+        self.q
+            .schedule(SimTime::from_hours(now + queue_wait), Ev::Poke(si));
+    }
+
+    /// Start every queued job that fits at `si`, sampling launch
+    /// failures and pre-drawing each started attempt's fate (crash,
+    /// gateway drop, or clean finish).
+    fn try_start_site(&mut self, si: usize, now: f64) {
+        let campaign = self.campaign;
+        let site = &campaign.federation.sites[si];
+        let speed = site.speed;
+        let policy = self.policy;
+        let states = &self.states;
+        let started = self.schedulers[si].try_start(now, |j| {
+            let ji = campaign
+                .jobs
+                .iter()
+                .position(|cj| cj.id == j.id)
+                .expect("queued job id unknown to the campaign");
+            policy.checkpoint.gross_hours(states[ji].remaining) / speed
+        });
+        for (job, finish) in started {
+            let ji = self.job_index(job.id);
+            #[cfg(feature = "audit")]
+            crate::audit::check_single_site(
+                job.id,
+                self.states[ji]
+                    .running
+                    .map(|(s, _)| campaign.federation.sites[s].id),
+                site.id,
+            );
+            let attempt = self.states[ji].attempt;
+            if policy
+                .failures
+                .launch_fails(campaign.seed, job.id, attempt, site)
+            {
+                // The launch itself failed: processors are never held,
+                // no compute time is lost.
+                self.schedulers[si].preempt(job.id);
+                self.fail_attempt(ji, si, now, FailureKind::LaunchFailure, 0.0);
+                continue;
+            }
+            self.states[ji].running = Some((si, now));
+            let crash = policy
+                .failures
+                .crash_after(campaign.seed, job.id, attempt, site.id);
+            let routed_gateway = job.coupled && matches!(steering_connectivity(site), Ok(Some(_)));
+            let drop = if routed_gateway {
+                policy
+                    .failures
+                    .gateway_drop_after(campaign.seed, job.id, attempt, site.id)
+            } else {
+                f64::INFINITY
+            };
+            let (t_fail, kind) = if crash <= drop {
+                (crash, FailureKind::NodeCrash)
+            } else {
+                (drop, FailureKind::GatewayDrop)
+            };
+            if now + t_fail < finish {
+                self.q.schedule(
+                    SimTime::from_hours(now + t_fail),
+                    Ev::Fail {
+                        si,
+                        ji,
+                        attempt,
+                        kind,
+                    },
+                );
+            } else {
+                self.q
+                    .schedule(SimTime::from_hours(finish), Ev::Finish { si, ji, attempt });
+            }
+        }
+    }
+
+    /// Is this (site, attempt) event about the job's current in-flight
+    /// attempt? Events outlived by an outage kill are stale.
+    fn is_current(&self, ji: usize, si: usize, attempt: u32) -> bool {
+        let st = &self.states[ji];
+        !st.done
+            && !st.abandoned
+            && st.attempt == attempt
+            && matches!(st.running, Some((s, _)) if s == si)
+    }
+
+    fn handle_finish(&mut self, si: usize, ji: usize, attempt: u32, now: f64) {
+        if !self.is_current(ji, si, attempt) {
+            return;
+        }
+        let job = &self.campaign.jobs[ji];
+        let site = &self.campaign.federation.sites[si];
+        let (_, start) = self.states[ji]
+            .running
+            .take()
+            .expect("current attempt must be running");
+        self.schedulers[si].finish(job.id);
+        let st = &mut self.states[ji];
+        // A clean finish completed exactly the remaining work (plus its
+        // checkpoint overhead) — accounted as such, so a failure-free job
+        // has bit-exact zero lost CPU-hours.
+        let gross = self.policy.checkpoint.gross_hours(st.remaining);
+        st.consumed_ref_cpu_h += gross * f64::from(job.procs);
+        st.remaining = 0.0;
+        st.done = true;
+        self.backlog_cpu_h[si] -= st.backlog_contrib;
+        st.backlog_contrib = 0.0;
+        let lost = (st.consumed_ref_cpu_h - job.cpu_hours()).max(0.0);
+        self.records.push(JobRecord {
+            job: job.id,
+            site: site.id,
+            submitted: job.release_hours,
+            started: start,
+            finished: now,
+            procs: job.procs,
+            attempts: attempt,
+            lost_cpu_hours: lost,
+        });
+        self.jobs_per_site[si] += 1;
+        self.try_start_site(si, now);
+    }
+
+    fn handle_fail(&mut self, si: usize, ji: usize, attempt: u32, kind: FailureKind, now: f64) {
+        if !self.is_current(ji, si, attempt) {
+            return;
+        }
+        let (_, start) = self.states[ji]
+            .running
+            .take()
+            .expect("current attempt must be running");
+        self.schedulers[si].preempt(self.campaign.jobs[ji].id);
+        self.fail_attempt(ji, si, now, kind, now - start);
+        self.try_start_site(si, now);
+    }
+
+    /// Common failure path: checkpoint accounting, blacklist update,
+    /// failure log, and either a backed-off resubmission or abandonment.
+    /// `elapsed_onsite` is how long the attempt ran (0 for launch
+    /// failures and evicted queued jobs).
+    fn fail_attempt(
+        &mut self,
+        ji: usize,
+        si: usize,
+        now: f64,
+        kind: FailureKind,
+        elapsed_onsite: f64,
+    ) {
+        let job = &self.campaign.jobs[ji];
+        let site = &self.campaign.federation.sites[si];
+        let gross_done = elapsed_onsite * site.speed;
+        let st = &mut self.states[ji];
+        let work_before = st.remaining;
+        let saved = self
+            .policy
+            .checkpoint
+            .saved_progress(gross_done, work_before);
+        #[cfg(feature = "audit")]
+        crate::audit::check_restart_progress(job.id, saved, work_before);
+        st.remaining = work_before - saved;
+        let lost_cpu = gross_done * f64::from(job.procs);
+        st.consumed_ref_cpu_h += lost_cpu;
+        st.site_failures[si] += 1;
+        self.backlog_cpu_h[si] -= st.backlog_contrib;
+        st.backlog_contrib = 0.0;
+        let failed_attempt = st.attempt;
+        self.failures.push(FailureEvent {
+            job: job.id,
+            site: site.id,
+            attempt: failed_attempt,
+            time: now,
+            kind,
+            lost_cpu_hours: lost_cpu,
+            saved_hours: saved,
+        });
+        // Retries used so far = failed_attempt - 1; abandon when the
+        // bound is spent, otherwise resubmit after backoff.
+        if failed_attempt > self.policy.retry.max_retries {
+            st.abandoned = true;
+            self.abandoned.push(job.id);
+        } else {
+            st.attempt = failed_attempt + 1;
+            self.total_retries += 1;
+            #[cfg(feature = "audit")]
+            crate::audit::check_retry_bound(job.id, st.attempt - 1, self.policy.retry.max_retries);
+            let delay = self.policy.retry.backoff_hours(failed_attempt);
+            self.q
+                .schedule(SimTime::from_hours(now + delay), Ev::Submit(ji));
+            #[cfg(feature = "audit")]
+            {
+                self.pending_submits += 1;
+            }
+        }
+    }
+
+    fn handle_outage_start(&mut self, oi: usize, now: f64) {
+        let outage = self.campaign.outages[oi];
+        let Some(si) = self.site_index(outage.site) else {
+            return; // outage for a site outside a restricted federation
+        };
+        self.schedulers[si].set_down_until(outage.end);
+        self.q
+            .schedule(SimTime::from_hours(outage.end.max(now)), Ev::OutageEnd(si));
+        if self.policy.outage == OutagePolicy::Kill {
+            for (job_id, _procs) in self.schedulers[si].kill_running() {
+                let ji = self.job_index(job_id);
+                let (_, start) = self.states[ji]
+                    .running
+                    .take()
+                    .expect("killed job must be tracked as running");
+                self.fail_attempt(ji, si, now, FailureKind::OutageKill, now - start);
+            }
+            for job in self.schedulers[si].evict_queued() {
+                let ji = self.job_index(job.id);
+                self.fail_attempt(ji, si, now, FailureKind::OutageKill, 0.0);
+            }
+        }
+    }
+
+    fn handle_poke(&mut self, si: usize, now: f64) {
+        self.try_start_site(si, now);
+        // Keep a poke chain alive while work is queued: at the next
+        // finish when something runs, else hourly (site likely down).
+        if self.schedulers[si].queued() > 0 {
+            if let Some((_, f)) = self.schedulers[si].next_finish().filter(|&(_, f)| f > now) {
+                self.q.schedule(SimTime::from_hours(f), Ev::Poke(si));
+            } else {
+                self.q
+                    .schedule(SimTime::from_hours(now + 1.0), Ev::Poke(si));
+            }
+        }
+    }
+
+    /// Every job handed to the federation is accounted for exactly once:
+    /// awaiting (re)submission, queued at a site, running, done, or
+    /// abandoned.
+    #[cfg(feature = "audit")]
+    fn audit_job_conservation(&self) {
+        let queued: usize = self.schedulers.iter().map(SiteScheduler::queued).sum();
+        let running = self.states.iter().filter(|s| s.running.is_some()).count();
+        let done = self.states.iter().filter(|s| s.done).count();
+        let abandoned = self.states.iter().filter(|s| s.abandoned).count();
+        let total = self.pending_submits + queued + running + done + abandoned;
+        if total != self.campaign.jobs.len() {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[gridsim.job_conservation]: {} jobs but {} \
+                 accounted for ({} pending + {queued} queued + {running} \
+                 running + {done} done + {abandoned} abandoned)",
+                self.campaign.jobs.len(),
+                total,
+                self.pending_submits,
+            );
+        }
+    }
+
+    fn run(mut self) -> ResilientResult {
+        // Outage starts are scheduled before submissions so a site that
+        // is down at t=0 is already down when the first dispatch runs.
+        for oi in 0..self.campaign.outages.len() {
+            let start = self.campaign.outages[oi].start.max(0.0);
+            self.q
+                .schedule(SimTime::from_hours(start), Ev::OutageStart(oi));
+        }
+        for (ji, job) in self.campaign.jobs.iter().enumerate() {
+            self.q
+                .schedule(SimTime::from_hours(job.release_hours), Ev::Submit(ji));
+            #[cfg(feature = "audit")]
+            {
+                self.pending_submits += 1;
+            }
+        }
+
+        while let Some((t, ev)) = self.q.pop() {
+            let now = t.hours();
+            match ev {
+                Ev::Submit(ji) => self.handle_submit(ji, now),
+                Ev::Finish { si, ji, attempt } => self.handle_finish(si, ji, attempt, now),
+                Ev::Fail {
+                    si,
+                    ji,
+                    attempt,
+                    kind,
+                } => self.handle_fail(si, ji, attempt, kind, now),
+                Ev::OutageStart(oi) => self.handle_outage_start(oi, now),
+                Ev::OutageEnd(si) | Ev::Poke(si) => self.handle_poke(si, now),
+            }
+            #[cfg(feature = "audit")]
+            self.audit_job_conservation();
+        }
+
+        assert_eq!(
+            self.records.len() + self.abandoned.len(),
+            self.campaign.jobs.len(),
+            "resilient DES lost jobs: {} completed + {} abandoned of {}",
+            self.records.len(),
+            self.abandoned.len(),
+            self.campaign.jobs.len()
+        );
+
+        let goodput: f64 = self
+            .states
+            .iter()
+            .zip(&self.campaign.jobs)
+            .filter(|(s, _)| s.done)
+            .map(|(_, j)| j.cpu_hours())
+            .sum();
+        let consumed: f64 = self.states.iter().map(|s| s.consumed_ref_cpu_h).sum();
+        let makespan = self
+            .records
+            .iter()
+            .map(|r| r.finished)
+            .fold(0.0f64, f64::max);
+        let cpu_hours = self.records.iter().map(JobRecord::cpu_hours).sum();
+        ResilientResult {
+            result: CampaignResult {
+                records: self.records,
+                makespan_hours: makespan,
+                cpu_hours,
+                jobs_per_site: self
+                    .campaign
+                    .federation
+                    .sites
+                    .iter()
+                    .zip(&self.jobs_per_site)
+                    .map(|(s, &n)| (s.id, n))
+                    .collect(),
+            },
+            failures: self.failures,
+            abandoned: self.abandoned,
+            goodput_cpu_hours: goodput,
+            badput_cpu_hours: (consumed - goodput).max(0.0),
+            total_retries: self.total_retries,
+        }
+    }
+}
+
+/// Execute a campaign under a resilience policy with the greedy
+/// dispatcher. Deterministic under the campaign seed.
+pub fn run_resilient(campaign: &Campaign, policy: &ResiliencePolicy) -> ResilientResult {
+    run_resilient_with_dispatch(campaign, policy, DispatchPolicy::EarliestCompletion)
+}
+
+/// Execute a campaign under a resilience policy with an explicit
+/// dispatch policy.
+pub fn run_resilient_with_dispatch(
+    campaign: &Campaign,
+    policy: &ResiliencePolicy,
+    dispatch: DispatchPolicy,
+) -> ResilientResult {
+    assert!(!campaign.jobs.is_empty(), "campaign has no jobs");
+    assert!(
+        !campaign.federation.sites.is_empty(),
+        "campaign has no sites"
+    );
+    Engine::new(campaign, policy, dispatch).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{Outage, OutageCause};
+
+    #[test]
+    fn checkpoint_arithmetic() {
+        let ck = CheckpointPolicy::periodic(1.0, 0.05);
+        assert_eq!(ck.checkpoints_during(8.0), 7);
+        assert_eq!(ck.checkpoints_during(8.5), 8);
+        assert_eq!(ck.checkpoints_during(0.5), 0);
+        assert_eq!(ck.checkpoints_during(1.0), 0);
+        assert!((ck.gross_hours(8.0) - 8.35).abs() < 1e-12);
+        // Killed 3.2 gross hours in: 3 checkpoints completed (1.05 each),
+        // 3.0 h of progress saved.
+        assert!((ck.saved_progress(3.2, 8.0) - 3.0).abs() < 1e-12);
+        // Saved progress never reaches the full remaining work.
+        assert!(ck.saved_progress(100.0, 8.0) < 8.0);
+        assert_eq!(CheckpointPolicy::none().saved_progress(5.0, 8.0), 0.0);
+        assert_eq!(CheckpointPolicy::none().gross_hours(8.0), 8.0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = ResiliencePolicy::retry_only().retry;
+        assert!((r.backoff_hours(1) - 0.25).abs() < 1e-12);
+        assert!((r.backoff_hours(2) - 0.5).abs() < 1e-12);
+        assert!((r.backoff_hours(3) - 1.0).abs() < 1e-12);
+        let naive = ResiliencePolicy::naive().retry;
+        assert!((naive.backoff_hours(5) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_free_policy_matches_plain_des() {
+        let c = Campaign::paper_batch_phase(11);
+        let plain = crate::des::run_des(&c);
+        let resilient = run_resilient(&c, &ResiliencePolicy::none());
+        assert_eq!(plain, resilient.result);
+        assert!(resilient.failures.is_empty());
+        assert!(resilient.abandoned.is_empty());
+        assert_eq!(resilient.total_retries, 0);
+        assert!(resilient.badput_cpu_hours.abs() < 1e-6);
+    }
+
+    #[test]
+    fn resilient_run_is_deterministic() {
+        let mut c = Campaign::paper_batch_phase(5);
+        c.outages = vec![Outage::security_breach(3, 24.0, 2.0)];
+        for policy in [
+            ResiliencePolicy::naive(),
+            ResiliencePolicy::retry_only(),
+            ResiliencePolicy::checkpoint_failover(),
+        ] {
+            let a = run_resilient(&c, &policy);
+            let b = run_resilient(&c, &policy);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn failures_actually_occur_and_are_recovered() {
+        let c = Campaign::paper_batch_phase(5);
+        let r = run_resilient(&c, &ResiliencePolicy::checkpoint_failover());
+        assert!(!r.failures.is_empty(), "sc05 model must produce failures");
+        assert_eq!(r.result.records.len(), 72, "all jobs must complete");
+        assert!(r.total_retries > 0);
+        assert!(r.badput_cpu_hours > 0.0);
+        assert!((r.goodput_cpu_hours - 75_000.0).abs() < 2_000.0);
+        assert!(r.completion_fraction() > 0.999);
+        // Records carry the attempt accounting.
+        assert!(r.result.records.iter().any(|rec| rec.attempts > 1));
+        let retries: u32 = r.result.records.iter().map(JobRecord::retries).sum();
+        assert_eq!(retries, r.total_retries);
+    }
+
+    #[test]
+    fn kill_outage_terminates_in_flight_work() {
+        // A mid-campaign outage under Kill produces OutageKill failures;
+        // under Drain it does not.
+        let mut c = Campaign::paper_batch_phase(9);
+        c.outages = vec![Outage::new(0, 20.0, 80.0, OutageCause::Hardware)];
+        let mut kill = ResiliencePolicy::retry_only();
+        kill.failures = FailureModel::none();
+        let killed = run_resilient(&c, &kill);
+        assert!(
+            killed
+                .failures
+                .iter()
+                .any(|f| f.kind == FailureKind::OutageKill && f.site == 0),
+            "kill policy must terminate NCSA's in-flight work"
+        );
+        let mut drain = kill;
+        drain.outage = OutagePolicy::Drain;
+        let drained = run_resilient(&c, &drain);
+        assert!(drained.failures.is_empty());
+        assert_eq!(drained.result.records.len(), 72);
+    }
+
+    #[test]
+    fn checkpointing_reduces_badput_under_crashy_sites() {
+        // Crash-dominated environment (MTBF 4 h, jobs ~8 h): restarting
+        // from scratch re-executes lost segments over and over, while
+        // hourly checkpoints bound each loss to about a segment. The
+        // checkpoint overhead paid on every job must be repaid many times
+        // over.
+        let c = Campaign::paper_batch_phase(13);
+        let crashy = FailureModel {
+            p_launch: 0.0,
+            p_launch_immature: 0.0,
+            crash_rate_per_hour: 0.25,
+            gateway_drop_rate_per_hour: 0.0,
+        };
+        let mut scratch = ResiliencePolicy::retry_only();
+        scratch.failures = crashy;
+        scratch.retry.max_retries = 100;
+        scratch.retry.backoff_factor = 1.0;
+        let mut ckpt = ResiliencePolicy::checkpoint_failover();
+        ckpt.failures = crashy;
+        ckpt.retry.max_retries = 100;
+        ckpt.retry.backoff_factor = 1.0;
+        let a = run_resilient(&c, &scratch);
+        let b = run_resilient(&c, &ckpt);
+        assert!(!a.failures.is_empty() && !b.failures.is_empty());
+        let saved_b: f64 = b.failures.iter().map(|f| f.saved_hours).sum();
+        assert!(saved_b > 0.0, "checkpoints must save progress");
+        assert_eq!(b.result.records.len(), 72);
+        assert!(
+            b.badput_cpu_hours < a.badput_cpu_hours,
+            "checkpointing must cut badput: {} vs {}",
+            b.badput_cpu_hours,
+            a.badput_cpu_hours
+        );
+        assert!(
+            b.result.makespan_hours < a.result.makespan_hours,
+            "checkpointing must cut makespan: {} vs {}",
+            b.result.makespan_hours,
+            a.result.makespan_hours
+        );
+    }
+
+    #[test]
+    fn bounded_retries_abandon_jobs_on_a_dead_federation() {
+        // One site, permanently failing launches: jobs exhaust retries
+        // and are abandoned — the engine still terminates and accounts
+        // for every job.
+        let mut c = Campaign::paper_batch_phase(3);
+        c.federation = crate::federation::Federation::paper_us_uk().restricted(&[0]);
+        c.jobs.truncate(8);
+        let mut policy = ResiliencePolicy::retry_only();
+        policy.retry.max_retries = 3;
+        policy.failures = FailureModel {
+            p_launch: 1.0,
+            p_launch_immature: 1.0,
+            crash_rate_per_hour: 0.0,
+            gateway_drop_rate_per_hour: 0.0,
+        };
+        let r = run_resilient(&c, &policy);
+        assert!(r.result.records.is_empty());
+        assert_eq!(r.abandoned.len(), 8);
+        assert_eq!(r.completion_fraction(), 0.0);
+        // Every job used exactly max_retries resubmissions.
+        assert_eq!(r.total_retries, 8 * 3);
+        for f in &r.failures {
+            assert!(f.attempt <= policy.retry.max_retries + 1);
+        }
+    }
+
+    #[test]
+    fn coupled_jobs_avoid_infeasible_sites() {
+        // Steering-coupled jobs can never land on HPCx (hidden, no
+        // gateway); gateway drops show up only on gateway-routed sites.
+        let mut c = Campaign::paper_batch_phase(7);
+        for j in c.jobs.iter_mut() {
+            j.coupled = true;
+        }
+        let r = run_resilient(&c, &ResiliencePolicy::checkpoint_failover());
+        let hpcx = 5;
+        for rec in &r.result.records {
+            assert_ne!(rec.site, hpcx, "coupled job completed on HPCx");
+        }
+        for f in &r.failures {
+            assert_ne!(f.site, hpcx, "coupled job attempted on HPCx");
+            if f.kind == FailureKind::GatewayDrop {
+                assert_eq!(f.site, 2, "gateway drops only at PSC (the AGN site)");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_same_site_retry_never_migrates() {
+        let mut c = Campaign::paper_batch_phase(21);
+        c.outages = vec![Outage::security_breach(3, 12.0, 1.0)];
+        let r = run_resilient(&c, &ResiliencePolicy::naive());
+        // Each failed job's later attempts stay on the site of its first
+        // attempt.
+        for rec in &r.result.records {
+            let sites: Vec<_> = r
+                .failures
+                .iter()
+                .filter(|f| f.job == rec.job)
+                .map(|f| f.site)
+                .collect();
+            for s in sites {
+                assert_eq!(s, rec.site, "naive retry migrated job {}", rec.job);
+            }
+        }
+    }
+}

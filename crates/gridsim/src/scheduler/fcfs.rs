@@ -66,15 +66,56 @@ impl SiteScheduler {
         self.queue.push_back(Queued { job, ready });
     }
 
-    /// Mark the site down until `until` (jobs keep queueing; running jobs
-    /// are assumed checkpoint-protected and resume — conservatively we let
-    /// them finish on schedule, matching how the paper's sites drained
-    /// rather than killed work).
+    /// Mark the site down until `until`: no new starts before then. What
+    /// happens to in-flight work is the engine's
+    /// [`crate::resilience::OutagePolicy`] decision — `Drain` leaves the
+    /// running set alone (jobs finish on schedule), `Kill` additionally
+    /// calls [`SiteScheduler::kill_running`] /
+    /// [`SiteScheduler::evict_queued`] to terminate it.
     pub fn set_down_until(&mut self, until: f64) {
         self.down_until = Some(match self.down_until {
             Some(cur) => cur.max(until),
             None => until,
         });
+    }
+
+    /// Terminate every running job (outage with `Kill` semantics).
+    /// Returns `(job_id, procs)` for each killed job; all processors are
+    /// released.
+    pub fn kill_running(&mut self) -> Vec<(u32, u32)> {
+        let killed: Vec<(u32, u32)> = self.running.iter().map(|r| (r.job_id, r.procs)).collect();
+        for (_, procs) in &killed {
+            self.free += procs;
+        }
+        self.running.clear();
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
+        killed
+    }
+
+    /// Drop every queued (not yet started) job, returning them — an
+    /// outage with `Kill` semantics loses queued submissions too (the
+    /// middleware that held them is down).
+    pub fn evict_queued(&mut self) -> Vec<Job> {
+        self.queue.drain(..).map(|q| q.job).collect()
+    }
+
+    /// Terminate one running job before its scheduled finish (node crash
+    /// or connection failure), releasing its processors.
+    ///
+    /// # Panics
+    /// Panics if the job is not running here.
+    pub fn preempt(&mut self, job_id: u32) -> u32 {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.job_id == job_id)
+            .expect("preempting a job that is not running");
+        let r = self.running.swap_remove(idx);
+        self.free += r.procs;
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
+        r.procs
     }
 
     /// Try to start queued jobs at time `now`. FCFS with backfill: the
@@ -244,6 +285,52 @@ mod tests {
     fn finishing_unknown_job_panics() {
         let mut s = SiteScheduler::new(10);
         s.finish(99);
+    }
+
+    #[test]
+    fn kill_running_releases_everything() {
+        let mut s = SiteScheduler::new(100);
+        s.submit(job(1, 40, 5.0), 0.0);
+        s.submit(job(2, 40, 5.0), 0.0);
+        s.try_start(0.0, |j| j.wall_hours);
+        assert_eq!(s.free_procs(), 20);
+        let mut killed = s.kill_running();
+        killed.sort_unstable();
+        assert_eq!(killed, vec![(1, 40), (2, 40)]);
+        assert_eq!(s.free_procs(), 100);
+        assert_eq!(s.running(), 0);
+    }
+
+    #[test]
+    fn evict_queued_drains_the_queue() {
+        let mut s = SiteScheduler::new(10);
+        s.submit(job(1, 5, 1.0), 0.0);
+        s.submit(job(2, 5, 1.0), 3.0);
+        let evicted = s.evict_queued();
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(evicted[0].id, 1);
+        assert_eq!(s.queued(), 0);
+        assert!(s.idle());
+    }
+
+    #[test]
+    fn preempt_frees_one_job_early() {
+        let mut s = SiteScheduler::new(100);
+        s.submit(job(1, 60, 10.0), 0.0);
+        s.submit(job(2, 40, 10.0), 0.0);
+        s.try_start(0.0, |j| j.wall_hours);
+        assert_eq!(s.preempt(1), 60);
+        assert_eq!(s.free_procs(), 60);
+        assert_eq!(s.running(), 1);
+        s.finish(2);
+        assert!(s.idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn preempting_unknown_job_panics() {
+        let mut s = SiteScheduler::new(10);
+        s.preempt(7);
     }
 
     #[test]

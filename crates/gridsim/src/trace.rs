@@ -1,10 +1,12 @@
 //! Campaign execution traces: a text Gantt chart of job placement over
 //! time — the at-a-glance view of how the federation carried the batch
 //! phase (what the paper's coordinators reconstructed from queue logs by
-//! hand).
+//! hand) — plus failure timelines of resilient executions.
 
 use crate::campaign::CampaignResult;
+use crate::failure::FailureKind;
 use crate::federation::Federation;
+use crate::resilience::ResilientResult;
 
 /// Render a per-site text Gantt chart of the campaign, `width` columns
 /// wide. Each row is a site; each column a time slice; the glyph encodes
@@ -67,10 +69,43 @@ pub fn job_listing(result: &CampaignResult, federation: &Federation) -> String {
     out
 }
 
+/// One-line-per-failure timeline of a resilient execution, ordered by
+/// event time — the incident log the SC05 coordinators kept by hand.
+pub fn failure_listing(result: &ResilientResult, federation: &Federation) -> String {
+    let mut out =
+        String::from("  time   job  att  site          kind          lost-cpu-h  saved-h\n");
+    for f in &result.failures {
+        let kind = match f.kind {
+            FailureKind::LaunchFailure => "launch-fail",
+            FailureKind::NodeCrash => "node-crash",
+            FailureKind::GatewayDrop => "gateway-drop",
+            FailureKind::OutageKill => "outage-kill",
+        };
+        out.push_str(&format!(
+            "  {:>6.1} {:>4}  {:>3}  {:<12}  {:<12}  {:>9.1}  {:>7.2}\n",
+            f.time,
+            f.job,
+            f.attempt,
+            federation.site(f.site).name,
+            kind,
+            f.lost_cpu_hours,
+            f.saved_hours,
+        ));
+    }
+    if !result.abandoned.is_empty() {
+        out.push_str(&format!(
+            "  abandoned after retry exhaustion: {:?}\n",
+            result.abandoned
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::campaign::Campaign;
+    use crate::resilience::{run_resilient, ResiliencePolicy};
 
     #[test]
     fn gantt_renders_all_sites_and_width() {
@@ -131,5 +166,48 @@ mod tests {
         let c = Campaign::paper_batch_phase(1);
         let r = c.run();
         gantt(&r, &c.federation, 3);
+    }
+
+    #[test]
+    fn failure_listing_covers_every_failure() {
+        let c = Campaign::sc05_outage_phase(5);
+        let r = run_resilient(&c, &ResiliencePolicy::checkpoint_failover());
+        let listing = failure_listing(&r, &c.federation);
+        let body_lines = listing
+            .lines()
+            .filter(|l| !l.starts_with("  time") && !l.contains("abandoned"))
+            .count();
+        assert_eq!(body_lines, r.failures.len());
+        assert!(!r.failures.is_empty(), "sc05 scenario must log failures");
+        // Kind labels render.
+        assert!(
+            listing.contains("launch-fail")
+                || listing.contains("node-crash")
+                || listing.contains("outage-kill")
+        );
+        // Times are sorted (engine logs in event order).
+        let times: Vec<f64> = r.failures.iter().map(|f| f.time).collect();
+        assert!(times.windows(2).all(|w| w[1] >= w[0] - 1e-9));
+    }
+
+    #[test]
+    fn failure_listing_reports_abandonment() {
+        let r = ResilientResult {
+            result: CampaignResult {
+                records: Vec::new(),
+                makespan_hours: 0.0,
+                cpu_hours: 0.0,
+                jobs_per_site: Vec::new(),
+            },
+            failures: Vec::new(),
+            abandoned: vec![3, 7],
+            goodput_cpu_hours: 0.0,
+            badput_cpu_hours: 0.0,
+            total_retries: 2,
+        };
+        let f = Federation::paper_us_uk();
+        let listing = failure_listing(&r, &f);
+        assert!(listing.contains("abandoned"));
+        assert!(listing.contains('3') && listing.contains('7'));
     }
 }

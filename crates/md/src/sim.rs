@@ -332,6 +332,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "audit"))]
     fn blowup_detected() {
         let mut sys = System::new();
         sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
@@ -340,6 +341,21 @@ mod tests {
         sim.system_mut().velocities_mut()[0] = Vec3::new(f64::NAN, 0.0, 0.0);
         let err = sim.run(200, &mut []).unwrap_err();
         assert!(matches!(err, MdError::NumericalBlowup { .. }));
+    }
+
+    /// With the audit sanitizer live, the same blowup is caught at the
+    /// layer boundary (panic) before the engine's own detection returns
+    /// its `Err` — the sanitizer is strictly earlier.
+    #[test]
+    #[cfg(feature = "audit")]
+    #[should_panic(expected = "spice-audit[md.finite_state]")]
+    fn blowup_detected() {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::zero(), 1.0, 0.0, 0);
+        let ff = ForceField::new(Topology::new());
+        let mut sim = Simulation::new(sys, ff, Box::new(VelocityVerlet), 0.01);
+        sim.system_mut().velocities_mut()[0] = Vec3::new(f64::NAN, 0.0, 0.0);
+        let _ = sim.run(200, &mut []);
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub fn seed_stream(master: u64, index: u64) -> u64 {
     splitmix64(splitmix64(master ^ 0xA076_1D64_78BD_642F).wrapping_add(index))
 }
 
+/// Map 64 random bits to a uniform f64 in [0, 1) using the top 53 bits
+/// (the mantissa trick). Shared by every stochastic sampler that draws
+/// from a [`seed_stream`], so all crates produce identical uniforms from
+/// identical bits.
+#[inline]
+pub fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A hierarchical seed sequence: `SeedSequence` for an experiment, child
 /// sequences per component, leaf seeds per stream.
 ///
@@ -110,6 +119,16 @@ mod tests {
             for s in 0..50u64 {
                 assert!(seen.insert(root.child(c).stream(s)));
             }
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        assert_eq!(unit_f64(0), 0.0);
+        assert!(unit_f64(u64::MAX) < 1.0);
+        for i in 0..1000u64 {
+            let u = unit_f64(seed_stream(7, i));
+            assert!((0.0..1.0).contains(&u));
         }
     }
 

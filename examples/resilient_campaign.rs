@@ -1,0 +1,17 @@
+//! Resilience smoke run: replay the SC05 outage scenario under the three
+//! fault-handling policies and print the T-resil report.
+//!
+//! ```sh
+//! cargo run --release --example resilient_campaign [master_seed]
+//! ```
+
+use spice_core::experiments::resilience;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(123);
+    let report = resilience::run(seed);
+    println!("{}", report.render());
+}

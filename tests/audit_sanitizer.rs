@@ -92,6 +92,34 @@ fn nan_event_time_trips_des_sanitizer() {
     q.pop();
 }
 
+#[test]
+#[should_panic(expected = "spice-audit[gridsim.single_site]")]
+fn double_placement_trips_single_site_sanitizer() {
+    // A job claimed to be running on SDSC must not be started on NCSA.
+    spice_gridsim::audit::check_single_site(7, Some(1), 0);
+}
+
+#[test]
+#[should_panic(expected = "spice-audit[gridsim.retry_bound]")]
+fn retry_overrun_trips_retry_bound_sanitizer() {
+    // 5 retries consumed against a policy allowing 3.
+    spice_gridsim::audit::check_retry_bound(12, 5, 3);
+}
+
+#[test]
+#[should_panic(expected = "spice-audit[gridsim.restart_progress]")]
+fn full_checkpoint_trips_restart_progress_sanitizer() {
+    // A checkpoint claiming 100% of the remaining work would mean the
+    // job finished, not failed — restarted work must stay positive.
+    spice_gridsim::audit::check_restart_progress(3, 8.0, 8.0);
+}
+
+#[test]
+#[should_panic(expected = "spice-audit[gridsim.restart_progress]")]
+fn nan_checkpoint_trips_restart_progress_sanitizer() {
+    spice_gridsim::audit::check_restart_progress(3, f64::NAN, 8.0);
+}
+
 /// With every invariant check live, an uncorrupted pull and an
 /// uncorrupted DES campaign must run to completion: the sanitizer only
 /// fires on genuine violations.
@@ -103,4 +131,26 @@ fn clean_runs_pass_under_audit() {
 
     let r = spice_gridsim::des::run_des(&Campaign::paper_batch_phase(3));
     assert_eq!(r.records.len(), 72, "all jobs conserved through the DES");
+}
+
+/// A full resilient execution of the SC05 outage scenario — kills,
+/// checkpoint restarts, failover retries — passes every live sanitizer:
+/// single-site placement, retry bounds, restart progress, processor and
+/// job conservation.
+#[test]
+fn clean_resilient_runs_pass_under_audit() {
+    use spice_gridsim::resilience::{run_resilient, ResiliencePolicy};
+    let c = Campaign::sc05_outage_phase(123);
+    for p in [
+        ResiliencePolicy::naive(),
+        ResiliencePolicy::retry_only(),
+        ResiliencePolicy::checkpoint_failover(),
+    ] {
+        let r = run_resilient(&c, &p);
+        assert_eq!(
+            r.result.records.len() + r.abandoned.len(),
+            72,
+            "all jobs conserved through the resilient engine"
+        );
+    }
 }

@@ -15,7 +15,7 @@ fn fact<'a>(r: &'a spice::core::Report, key: &str) -> &'a str {
 #[test]
 fn full_experiment_suite_regenerates_every_artifact() {
     let reports = experiments::run_all(Scale::Test, 20050512);
-    assert_eq!(reports.len(), 12);
+    assert_eq!(reports.len(), 13);
 
     let by_id = |id: &str| {
         reports
@@ -56,6 +56,29 @@ fn full_experiment_suite_regenerates_every_artifact() {
         .parse()
         .unwrap();
     assert!(lp < gp, "lightpath {lp} must beat commodity {gp}");
+
+    // T-resil: resilience policies are compared with badput accounting,
+    // and failover keeps the campaign off the breached node (an order of
+    // magnitude under the naive three-week stall).
+    let resil = by_id("T-resil");
+    assert!(!fact(resil, "naive badput CPU-h").is_empty());
+    assert!(resil.render().contains("ckpt+failover"));
+    let naive_days: f64 = fact(resil, "naive makespan")
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let ckpt_days: f64 = fact(resil, "checkpoint+failover makespan")
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        naive_days > 3.0 * ckpt_days,
+        "naive {naive_days} d must dwarf checkpoint+failover {ckpt_days} d"
+    );
 
     // F3: stretch contrast above 1.
     let f3 = by_id("F3");

@@ -1,0 +1,232 @@
+//! Telemetry overhead gate, machine-readable: proves the disabled
+//! telemetry handle adds < 2% to the MD hot path and quantifies the cost
+//! of a fully enabled handle, then writes `BENCH_telemetry.json` so CI
+//! can enforce the "instrumentation is free unless you turn it on"
+//! contract from DESIGN.md §12.
+//!
+//! Three arms, interleaved round-robin so machine noise hits all arms
+//! equally, best-of-N throughput per arm (best-of filters scheduler
+//! jitter, which is the only thing that differs between repeats of a
+//! deterministic simulation):
+//!
+//! * **plain** — no telemetry anywhere (the default production path);
+//! * **disabled** — `Telemetry::disabled()` attached, i.e. the exact
+//!   path every `*_traced` delegation takes: one `Option` check per
+//!   step;
+//! * **enabled** — live handle with a track, bound kernel counters and
+//!   an installed force-eval probe (the worst realistic case).
+//!
+//! The gate compares plain vs disabled. Exits nonzero when the gate
+//! fails, so `cargo bench -p spice-bench --bench bench_telemetry` is a
+//! CI check, not just a report.
+//!
+//! ```sh
+//! cargo bench -p spice-bench --bench bench_telemetry
+//! ```
+
+use spice_md::forces::{ForceField, LjParams, NonBonded, Restraint};
+use spice_md::integrate::LangevinBaoab;
+use spice_md::{Simulation, System, Topology, Vec3};
+use spice_telemetry::{ProbePoint, Telemetry};
+use std::time::Instant;
+
+/// Maximum tolerated slowdown of the disabled-telemetry path, percent.
+const GATE_OVERHEAD_PCT: f64 = 2.0;
+
+/// The same n-bead charged chain as `bench_md_engine`, so the numbers
+/// here are directly comparable to PR 1's `BENCH_md_engine.json`.
+fn chain_parts(n: usize) -> (System, Topology) {
+    let mut sys = System::new();
+    let side = (n as f64).cbrt().ceil().max(2.0) as usize;
+    for i in 0..n {
+        let p = Vec3::new(
+            (i % side) as f64 * 6.5,
+            ((i / side) % side) as f64 * 6.5,
+            (i / (side * side)) as f64 * 6.5,
+        );
+        sys.add_particle(p, 330.0, if i % 2 == 0 { -1.0 } else { 0.0 }, 1);
+    }
+    let mut topo = Topology::new();
+    for i in 0..n - 1 {
+        topo.add_harmonic_bond(i, i + 1, 6.5, 5.0);
+    }
+    topo.set_group("smd", (0..n).collect());
+    (sys, topo)
+}
+
+fn chain_simulation(n: usize, seed: u64) -> Simulation {
+    let (sys, topo) = chain_parts(n);
+    let positions: Vec<Vec3> = sys.positions().to_vec();
+    let mut ff = ForceField::new(topo).with_nonbonded(
+        NonBonded::new(LjParams::wca(6.0, 0.5), 13.0, 1.0).with_debye_huckel(3.04, 78.0),
+    );
+    for (i, p) in positions.iter().enumerate() {
+        ff = ff.with_restraint(Restraint::harmonic(i, *p, 0.5));
+    }
+    Simulation::new(
+        sys,
+        ff,
+        Box::new(LangevinBaoab::new(300.0, 5.0, seed)),
+        0.01,
+    )
+}
+
+#[derive(Clone, Copy)]
+enum Arm {
+    Plain,
+    Disabled,
+    Enabled,
+}
+
+/// Steps/sec through the full integration loop under one arm.
+fn time_steps(n: usize, steps: u64, arm: Arm) -> f64 {
+    let mut sim = chain_simulation(n, 1);
+    // Keep the enabled handle alive across the run; dropped at the end.
+    let telemetry = match arm {
+        Arm::Plain => None,
+        Arm::Disabled => {
+            let t = Telemetry::disabled();
+            let track = t.track("bench.md", 0);
+            sim.attach_telemetry(&t, track);
+            Some(t)
+        }
+        Arm::Enabled => {
+            let t = Telemetry::enabled();
+            let track = t.track("bench.md", 0);
+            sim.attach_telemetry(&t, track);
+            sim.force_field().bind_telemetry(&t);
+            // Worst realistic case: a handler actually installed at the
+            // per-step probe point.
+            let c = t.counter("bench.probe_hits");
+            t.on_probe(ProbePoint::ForceEval, move |_| c.incr());
+            Some(t)
+        }
+    };
+    sim.run(50, &mut []).expect("warm-up");
+    let t0 = Instant::now();
+    sim.run(steps, &mut []).expect("timed run");
+    let sps = steps as f64 / t0.elapsed().as_secs_f64();
+    drop(telemetry);
+    sps
+}
+
+/// Pure force-kernel throughput (no telemetry touches this loop at
+/// all): evals/sec, for the cross-check against PR 1's baseline file.
+fn time_force_evals(n: usize, iters: u64) -> f64 {
+    let (mut sys, topo) = chain_parts(n);
+    let mut ff = ForceField::new(topo).with_nonbonded(
+        NonBonded::new(LjParams::wca(6.0, 0.5), 13.0, 1.0).with_debye_huckel(3.04, 78.0),
+    );
+    for _ in 0..100 {
+        ff.evaluate(&mut sys);
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        ff.evaluate(&mut sys);
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+struct Row {
+    n_beads: usize,
+    sps_plain: f64,
+    sps_disabled: f64,
+    sps_enabled: f64,
+}
+
+impl Row {
+    fn disabled_overhead_pct(&self) -> f64 {
+        (1.0 - self.sps_disabled / self.sps_plain) * 100.0
+    }
+    fn enabled_overhead_pct(&self) -> f64 {
+        (1.0 - self.sps_enabled / self.sps_plain) * 100.0
+    }
+}
+
+/// PR 1's recorded 12-bead tiered kernel throughput, if the baseline
+/// file is reachable from the current working directory.
+fn baseline_evals_per_sec() -> Option<f64> {
+    for path in ["crates/bench/BENCH_md_engine.json", "BENCH_md_engine.json"] {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            // First kernel row is the 12-bead one.
+            let key = "\"force_evals_per_sec_tiered\": ";
+            if let Some(at) = text.find(key) {
+                let rest = &text[at + key.len()..];
+                let end = rest
+                    .find(|c: char| c != '.' && !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                if let Ok(v) = rest[..end].parse::<f64>() {
+                    return Some(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &n in &[12usize, 256] {
+        let (steps, rounds) = if n <= 64 { (100_000, 5) } else { (4_000, 3) };
+        let (mut plain, mut disabled, mut enabled) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..rounds {
+            plain = plain.max(time_steps(n, steps, Arm::Plain));
+            disabled = disabled.max(time_steps(n, steps, Arm::Disabled));
+            enabled = enabled.max(time_steps(n, steps, Arm::Enabled));
+        }
+        let row = Row {
+            n_beads: n,
+            sps_plain: plain,
+            sps_disabled: disabled,
+            sps_enabled: enabled,
+        };
+        eprintln!(
+            "n={n}: steps/sec plain {plain:.0}, disabled-attached {disabled:.0} \
+             ({:+.2}%), enabled {enabled:.0} ({:+.2}%)",
+            row.disabled_overhead_pct(),
+            row.enabled_overhead_pct()
+        );
+        rows.push(row);
+    }
+
+    let evals_12 = time_force_evals(12, 300_000);
+    let baseline = baseline_evals_per_sec();
+    let baseline_ratio = baseline.map(|b| evals_12 / b);
+
+    // Gate: the disabled handle must be free (< 2% on every size).
+    let overhead_ok = rows
+        .iter()
+        .all(|r| r.disabled_overhead_pct() < GATE_OVERHEAD_PCT);
+
+    let row_json = |r: &Row| {
+        format!(
+            "    {{\"n_beads\": {}, \"steps_per_sec_plain\": {:.1}, \
+             \"steps_per_sec_disabled\": {:.1}, \"steps_per_sec_enabled\": {:.1}, \
+             \"disabled_overhead_pct\": {:.3}, \"enabled_overhead_pct\": {:.3}}}",
+            r.n_beads,
+            r.sps_plain,
+            r.sps_disabled,
+            r.sps_enabled,
+            r.disabled_overhead_pct(),
+            r.enabled_overhead_pct(),
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \"gate_overhead_pct_max\": {GATE_OVERHEAD_PCT:.1},\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"force_evals_per_sec_12_bead\": {evals_12:.1},\n  \
+         \"baseline_force_evals_per_sec_12_bead\": {},\n  \
+         \"force_evals_vs_baseline_ratio\": {},\n  \
+         \"overhead_ok\": {overhead_ok}\n}}\n",
+        rows.iter().map(row_json).collect::<Vec<_>>().join(",\n"),
+        baseline.map_or("null".to_string(), |b| format!("{b:.1}")),
+        baseline_ratio.map_or("null".to_string(), |r| format!("{r:.3}")),
+    );
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    println!("{json}");
+
+    if !overhead_ok {
+        eprintln!("FAIL: disabled-telemetry overhead exceeds {GATE_OVERHEAD_PCT}%");
+        std::process::exit(1);
+    }
+}

@@ -11,8 +11,9 @@ use spice_md::units::KT_300;
 use spice_md::Simulation;
 use spice_pore::build::{PoreSystemBuilder, SmdSelection};
 use spice_pore::dna::DnaParams;
-use spice_smd::{run_ensemble_cloned, PullProtocol, WorkTrajectory};
+use spice_smd::{run_ensemble_cloned_traced, PullProtocol, WorkTrajectory};
 use spice_stats::rng::SeedSequence;
+use spice_telemetry::Telemetry;
 
 /// Leading-bead start height: in the β-barrel just below the
 /// constriction, so the 10 Å pull crosses the narrowest point — the
@@ -77,16 +78,38 @@ pub struct SweepResult {
 
 /// Run one (κ, v) ensemble and estimate its PMF.
 pub fn run_cell(scale: Scale, kappa: f64, v_label: f64, seeds: SeedSequence) -> PmfCell {
+    run_cell_traced(scale, kappa, v_label, seeds, &Telemetry::disabled(), 0)
+}
+
+/// [`run_cell`] with telemetry: the whole cell runs under a
+/// `core.run_cell` span on the `("core.cell", track_key)` track, the
+/// ensemble and its realizations trace through
+/// [`run_ensemble_cloned_traced`] (same `track_key`), and the estimation
+/// stages land as instants once the work values are in. With
+/// `Telemetry::disabled()` this *is* `run_cell` — identical results
+/// either way.
+pub fn run_cell_traced(
+    scale: Scale,
+    kappa: f64,
+    v_label: f64,
+    seeds: SeedSequence,
+    telemetry: &Telemetry,
+    track_key: u64,
+) -> PmfCell {
+    let cell_track = telemetry.track("core.cell", track_key);
+    let _cell_span = cell_track.span("core.run_cell");
     let protocol = scale.protocol(kappa, v_label);
     // Clone-amortized ensemble: one shared equilibration per cell, each
     // realization forked from the snapshot with a fresh noise stream plus
     // a short decorrelation hold (see DESIGN.md).
-    let results = run_ensemble_cloned(
+    let results = run_ensemble_cloned_traced(
         |seed| pore_simulation(scale, seed),
         &protocol,
         scale.realizations(),
         seeds,
         scale.decorrelation_steps(),
+        telemetry,
+        track_key,
     );
     let mut trajectories: Vec<WorkTrajectory> =
         results.into_iter().filter_map(Result::ok).collect();
@@ -152,6 +175,20 @@ pub fn run_cell(scale: Scale, kappa: f64, v_label: f64, seeds: SeedSequence) -> 
         .last()
         .map(|p| (p.com_disp / span).clamp(0.0, 1.0))
         .unwrap_or(0.0);
+    if telemetry.is_enabled() {
+        telemetry.counter("core.cells_completed").incr();
+        telemetry
+            .counter("core.realizations_used")
+            .add(trajectories.len() as u64);
+        cell_track.instant(
+            "core.pmf_estimated",
+            vec![
+                ("kappa", format!("{kappa}")),
+                ("v", format!("{v_label}")),
+                ("realizations", trajectories.len().to_string()),
+            ],
+        );
+    }
     PmfCell {
         kappa_pn_per_a: kappa,
         v_label,

@@ -98,6 +98,19 @@ pub enum FailureKind {
     OutageKill,
 }
 
+impl FailureKind {
+    /// Canonical short label — used by the failure listing, the telemetry
+    /// event stream and per-kind counters, so one grep matches all three.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::LaunchFailure => "launch-fail",
+            FailureKind::NodeCrash => "node-crash",
+            FailureKind::GatewayDrop => "gateway-drop",
+            FailureKind::OutageKill => "outage-kill",
+        }
+    }
+}
+
 /// One failed attempt, as logged by the resilience engine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FailureEvent {

@@ -64,7 +64,8 @@ pub use failure::{FailureEvent, FailureKind, FailureModel, Outage};
 pub use federation::{Federation, Grid};
 pub use job::{Job, JobId, JobRecord};
 pub use resilience::{
-    run_resilient, run_resilient_with_dispatch, CheckpointPolicy, OutagePolicy, ResiliencePolicy,
+    run_resilient, run_resilient_traced, run_resilient_with_dispatch,
+    run_resilient_with_dispatch_traced, CheckpointPolicy, OutagePolicy, ResiliencePolicy,
     ResilientResult, RetryPolicy,
 };
 pub use resource::{Site, SiteId};

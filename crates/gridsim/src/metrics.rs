@@ -63,6 +63,28 @@ pub fn resilience_summary(result: &ResilientResult) -> (f64, f64, f64, f64, f64)
     )
 }
 
+/// [`resilience_summary`] that *also* exports the numbers as `grid.*`
+/// gauges (plus per-kind loss counters) through `t`'s registry, so the
+/// same JSONL / Chrome trace that carries the event timeline carries the
+/// campaign-level accounting. Returns the same tuple.
+pub fn resilience_summary_traced(
+    result: &ResilientResult,
+    t: &spice_telemetry::Telemetry,
+) -> (f64, f64, f64, f64, f64) {
+    let summary = resilience_summary(result);
+    t.set_gauge("grid.goodput_cpu_hours", summary.0);
+    t.set_gauge("grid.badput_cpu_hours", summary.1);
+    t.set_gauge("grid.badput_fraction", summary.2);
+    t.set_gauge("grid.retries_per_job", summary.3);
+    t.set_gauge("grid.completion_fraction", summary.4);
+    for (kind, events, lost) in loss_by_kind(result) {
+        t.counter(&format!("grid.loss_events.{}", kind.label()))
+            .add(events as u64);
+        t.set_gauge(&format!("grid.lost_cpu_hours.{}", kind.label()), lost);
+    }
+    summary
+}
+
 /// CPU-hours lost per failure kind over a resilient execution. Returns
 /// `(kind, events, lost_cpu_hours)` for each kind that occurred.
 pub fn loss_by_kind(result: &ResilientResult) -> Vec<(FailureKind, usize, f64)> {

@@ -35,6 +35,14 @@ use crate::job::{JobId, JobRecord};
 use crate::scheduler::fcfs::SiteScheduler;
 use serde::{Deserialize, Serialize};
 use spice_stats::rng::{seed_stream, unit_f64};
+use spice_telemetry::{Counter, ProbePoint, Telemetry, Track};
+
+/// Logical-clock stamp for a DES sim-time: milliseconds of simulated
+/// time. Millisecond resolution keeps distinct event times distinct
+/// (queue waits are fractional hours) while staying integral.
+pub(crate) fn sim_ticks(hours: f64) -> u64 {
+    (hours.max(0.0) * 3.6e6) as u64
+}
 
 /// What happens to a site's in-flight work when an outage begins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -351,12 +359,26 @@ struct Engine<'a> {
     rr_cursor: usize,
     total_retries: u32,
     q: EventQueue<Ev>,
+    telemetry: Telemetry,
+    /// One `("grid.job", id)` track per campaign job, indexed like
+    /// `states`; attempt spans and failure/retry/checkpoint instants land
+    /// here, stamped with [`sim_ticks`].
+    job_tracks: Vec<Track>,
+    /// The `("grid.campaign", seed)` track: one span over the whole
+    /// replay, ticked by every popped DES event.
+    campaign_track: Track,
+    des_events: Counter,
     #[cfg(feature = "audit")]
     pending_submits: usize,
 }
 
 impl<'a> Engine<'a> {
-    fn new(campaign: &'a Campaign, policy: &'a ResiliencePolicy, dispatch: DispatchPolicy) -> Self {
+    fn new(
+        campaign: &'a Campaign,
+        policy: &'a ResiliencePolicy,
+        dispatch: DispatchPolicy,
+        telemetry: &Telemetry,
+    ) -> Self {
         let nsites = campaign.federation.sites.len();
         let states = campaign
             .jobs
@@ -392,6 +414,14 @@ impl<'a> Engine<'a> {
             rr_cursor: 0,
             total_retries: 0,
             q: EventQueue::new(),
+            telemetry: telemetry.clone(),
+            job_tracks: campaign
+                .jobs
+                .iter()
+                .map(|j| telemetry.track("grid.job", u64::from(j.id)))
+                .collect(),
+            campaign_track: telemetry.track("grid.campaign", campaign.seed),
+            des_events: telemetry.counter("grid.des_events"),
             #[cfg(feature = "audit")]
             pending_submits: 0,
         }
@@ -587,6 +617,17 @@ impl<'a> Engine<'a> {
                 continue;
             }
             self.states[ji].running = Some((si, now));
+            if self.telemetry.is_enabled() {
+                self.job_tracks[ji].enter_at("grid.attempt", sim_ticks(now));
+                self.job_tracks[ji].instant_at(
+                    "grid.start",
+                    sim_ticks(now),
+                    vec![
+                        ("site", site.name.clone()),
+                        ("attempt", attempt.to_string()),
+                    ],
+                );
+            }
             let crash = policy
                 .failures
                 .crash_after(campaign.seed, job.id, attempt, site.id);
@@ -641,6 +682,15 @@ impl<'a> Engine<'a> {
             .take()
             .expect("current attempt must be running");
         self.schedulers[si].finish(job.id);
+        if self.telemetry.is_enabled() {
+            self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
+            self.job_tracks[ji].instant_at(
+                "grid.complete",
+                sim_ticks(now),
+                vec![("attempts", attempt.to_string())],
+            );
+            self.telemetry.counter("grid.jobs_completed").incr();
+        }
         let st = &mut self.states[ji];
         // A clean finish completed exactly the remaining work (plus its
         // checkpoint overhead) — accounted as such, so a failure-free job
@@ -675,6 +725,9 @@ impl<'a> Engine<'a> {
             .take()
             .expect("current attempt must be running");
         self.schedulers[si].preempt(self.campaign.jobs[ji].id);
+        if self.telemetry.is_enabled() {
+            self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
+        }
         self.fail_attempt(ji, si, now, kind, now - start);
         self.try_start_site(si, now);
     }
@@ -718,14 +771,52 @@ impl<'a> Engine<'a> {
             lost_cpu_hours: lost_cpu,
             saved_hours: saved,
         });
+        if self.telemetry.is_enabled() {
+            let track = &self.job_tracks[ji];
+            track.instant_at(
+                "grid.failure",
+                sim_ticks(now),
+                vec![
+                    ("kind", kind.label().to_string()),
+                    ("site", site.name.clone()),
+                    ("attempt", failed_attempt.to_string()),
+                    ("lost_cpu_hours", format!("{lost_cpu:.3}")),
+                    ("saved_hours", format!("{saved:.3}")),
+                ],
+            );
+            self.telemetry.counter("grid.failures").incr();
+            self.telemetry
+                .counter(&format!("grid.failures.{}", kind.label()))
+                .incr();
+            if saved > 0.0 {
+                track.instant_at(
+                    "grid.checkpoint_restore",
+                    sim_ticks(now),
+                    vec![("saved_hours", format!("{saved:.3}"))],
+                );
+                self.telemetry.counter("grid.checkpoint_restores").incr();
+            }
+        }
         // Retries used so far = failed_attempt - 1; abandon when the
         // bound is spent, otherwise resubmit after backoff.
         if failed_attempt > self.policy.retry.max_retries {
             st.abandoned = true;
             self.abandoned.push(job.id);
+            if self.telemetry.is_enabled() {
+                self.job_tracks[ji].instant_at("grid.abandoned", sim_ticks(now), Vec::new());
+                self.telemetry.counter("grid.abandoned").incr();
+            }
         } else {
             st.attempt = failed_attempt + 1;
             self.total_retries += 1;
+            if self.telemetry.is_enabled() {
+                self.job_tracks[ji].instant_at(
+                    "grid.retry",
+                    sim_ticks(now),
+                    vec![("next_attempt", (failed_attempt + 1).to_string())],
+                );
+                self.telemetry.counter("grid.retries").incr();
+            }
             #[cfg(feature = "audit")]
             crate::audit::check_retry_bound(job.id, st.attempt - 1, self.policy.retry.max_retries);
             let delay = self.policy.retry.backoff_hours(failed_attempt);
@@ -746,6 +837,13 @@ impl<'a> Engine<'a> {
         self.schedulers[si].set_down_until(outage.end);
         self.q
             .schedule(SimTime::from_hours(outage.end.max(now)), Ev::OutageEnd(si));
+        if self.telemetry.is_enabled() {
+            self.campaign_track.instant_at(
+                "grid.outage",
+                sim_ticks(now),
+                vec![("site", self.campaign.federation.sites[si].name.clone())],
+            );
+        }
         if self.policy.outage == OutagePolicy::Kill {
             for (job_id, _procs) in self.schedulers[si].kill_running() {
                 let ji = self.job_index(job_id);
@@ -753,6 +851,9 @@ impl<'a> Engine<'a> {
                     .running
                     .take()
                     .expect("killed job must be tracked as running");
+                if self.telemetry.is_enabled() {
+                    self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
+                }
                 self.fail_attempt(ji, si, now, FailureKind::OutageKill, now - start);
             }
             for job in self.schedulers[si].evict_queued() {
@@ -800,6 +901,7 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> ResilientResult {
+        let _campaign_span = self.campaign_track.span_at("grid.campaign", 0);
         // Outage starts are scheduled before submissions so a site that
         // is down at t=0 is already down when the first dispatch runs.
         for oi in 0..self.campaign.outages.len() {
@@ -818,6 +920,12 @@ impl<'a> Engine<'a> {
 
         while let Some((t, ev)) = self.q.pop() {
             let now = t.hours();
+            if self.telemetry.is_enabled() {
+                let ticks = sim_ticks(now);
+                self.campaign_track.tick(ticks);
+                self.des_events.incr();
+                self.telemetry.probe(ProbePoint::DesEvent, ticks, now);
+            }
             match ev {
                 Ev::Submit(ji) => self.handle_submit(ji, now),
                 Ev::Finish { si, ji, attempt } => self.handle_finish(si, ji, attempt, now),
@@ -886,6 +994,27 @@ pub fn run_resilient(campaign: &Campaign, policy: &ResiliencePolicy) -> Resilien
     run_resilient_with_dispatch(campaign, policy, DispatchPolicy::EarliestCompletion)
 }
 
+/// [`run_resilient`] with telemetry: the replay runs under a
+/// `grid.campaign` span on the `("grid.campaign", seed)` track (its
+/// logical clock is simulated milliseconds), each job attempt is a
+/// `grid.attempt` span on that job's `("grid.job", id)` track, and
+/// failures, retries, checkpoint restores, abandonments and outages land
+/// as tagged instants. Every popped DES event fires the `DesEvent`
+/// probe. With `Telemetry::disabled()` this *is* [`run_resilient`] —
+/// bit-identical results either way.
+pub fn run_resilient_traced(
+    campaign: &Campaign,
+    policy: &ResiliencePolicy,
+    telemetry: &Telemetry,
+) -> ResilientResult {
+    run_resilient_with_dispatch_traced(
+        campaign,
+        policy,
+        DispatchPolicy::EarliestCompletion,
+        telemetry,
+    )
+}
+
 /// Execute a campaign under a resilience policy with an explicit
 /// dispatch policy.
 pub fn run_resilient_with_dispatch(
@@ -893,12 +1022,23 @@ pub fn run_resilient_with_dispatch(
     policy: &ResiliencePolicy,
     dispatch: DispatchPolicy,
 ) -> ResilientResult {
+    run_resilient_with_dispatch_traced(campaign, policy, dispatch, &Telemetry::disabled())
+}
+
+/// [`run_resilient_with_dispatch`] with telemetry (see
+/// [`run_resilient_traced`]).
+pub fn run_resilient_with_dispatch_traced(
+    campaign: &Campaign,
+    policy: &ResiliencePolicy,
+    dispatch: DispatchPolicy,
+    telemetry: &Telemetry,
+) -> ResilientResult {
     assert!(!campaign.jobs.is_empty(), "campaign has no jobs");
     assert!(
         !campaign.federation.sites.is_empty(),
         "campaign has no sites"
     );
-    Engine::new(campaign, policy, dispatch).run()
+    Engine::new(campaign, policy, dispatch, telemetry).run()
 }
 
 #[cfg(test)]

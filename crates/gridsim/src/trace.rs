@@ -4,7 +4,6 @@
 //! hand) — plus failure timelines of resilient executions.
 
 use crate::campaign::CampaignResult;
-use crate::failure::FailureKind;
 use crate::federation::Federation;
 use crate::resilience::ResilientResult;
 
@@ -75,12 +74,7 @@ pub fn failure_listing(result: &ResilientResult, federation: &Federation) -> Str
     let mut out =
         String::from("  time   job  att  site          kind          lost-cpu-h  saved-h\n");
     for f in &result.failures {
-        let kind = match f.kind {
-            FailureKind::LaunchFailure => "launch-fail",
-            FailureKind::NodeCrash => "node-crash",
-            FailureKind::GatewayDrop => "gateway-drop",
-            FailureKind::OutageKill => "outage-kill",
-        };
+        let kind = f.kind.label();
         out.push_str(&format!(
             "  {:>6.1} {:>4}  {:>3}  {:<12}  {:<12}  {:>9.1}  {:>7.2}\n",
             f.time,
@@ -99,6 +93,39 @@ pub fn failure_listing(result: &ResilientResult, federation: &Federation) -> Str
         ));
     }
     out
+}
+
+/// [`failure_listing`] that *also* replays the timeline into `t`'s event
+/// stream, so a single JSONL export captures the whole incident log even
+/// for a result that was produced untraced (or deserialized). Each
+/// failure becomes a `grid.failure` instant on the
+/// `("grid.failure_log", 0)` track — deliberately distinct from the
+/// engine's live `("grid.job", id)` tracks so replaying a listing never
+/// duplicates a traced run's events. Returns the same rendered text.
+pub fn failure_listing_traced(
+    result: &ResilientResult,
+    federation: &Federation,
+    t: &spice_telemetry::Telemetry,
+) -> String {
+    let track = t.track("grid.failure_log", 0);
+    for f in &result.failures {
+        track.instant_at(
+            "grid.failure",
+            crate::resilience::sim_ticks(f.time),
+            vec![
+                ("job", f.job.to_string()),
+                ("attempt", f.attempt.to_string()),
+                ("site", federation.site(f.site).name.clone()),
+                ("kind", f.kind.label().to_string()),
+                ("lost_cpu_hours", format!("{:.3}", f.lost_cpu_hours)),
+                ("saved_hours", format!("{:.3}", f.saved_hours)),
+            ],
+        );
+    }
+    for id in &result.abandoned {
+        track.instant("grid.abandoned", vec![("job", id.to_string())]);
+    }
+    failure_listing(result, federation)
 }
 
 #[cfg(test)]

@@ -114,6 +114,14 @@ impl ForceField {
             .unwrap_or_default()
     }
 
+    /// Export live kernel-counter views through `t`'s registry (no-op
+    /// without a non-bonded term).
+    pub fn bind_telemetry(&self, t: &spice_telemetry::Telemetry) {
+        if let Some(nb) = &self.nonbonded {
+            nb.bind_telemetry(t);
+        }
+    }
+
     /// Evaluate all terms: zeroes the system's force accumulators first,
     /// then adds every contribution. Returns the energy breakdown.
     pub fn evaluate(&mut self, system: &mut System) -> Energies {

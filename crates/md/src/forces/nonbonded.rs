@@ -32,6 +32,7 @@ use crate::observables::KernelCounters;
 use crate::topology::Topology;
 use crate::vec3::Vec3;
 use rayon::prelude::*;
+use spice_telemetry::{Counter, Telemetry};
 
 /// Lennard-Jones parameters (single species-independent set; the CG model
 /// uses one bead size, matching the pore builder).
@@ -270,8 +271,13 @@ pub struct NonBonded {
     parallel_threshold: usize,
     /// Benchmarking switch: route `compute` through the legacy kernel.
     reference_mode: bool,
-    invocations: u64,
-    pairs_evaluated: u64,
+    /// Kernel work counters as telemetry handles — the single source of
+    /// truth behind [`KernelCounters`], which is now a point-in-time
+    /// view. A registry can export them live via
+    /// [`bind_telemetry`](Self::bind_telemetry).
+    rebuilds: Counter,
+    invocations: Counter,
+    pairs_evaluated: Counter,
 }
 
 impl NonBonded {
@@ -291,8 +297,9 @@ impl NonBonded {
             scratch: Vec::new(),
             parallel_threshold: 4096,
             reference_mode: false,
-            invocations: 0,
-            pairs_evaluated: 0,
+            rebuilds: Counter::new(),
+            invocations: Counter::new(),
+            pairs_evaluated: Counter::new(),
         }
     }
 
@@ -326,10 +333,20 @@ impl NonBonded {
     /// Aggregate kernel counters (rebuilds, invocations, pairs evaluated).
     pub fn kernel_counters(&self) -> KernelCounters {
         KernelCounters {
-            neighbor_rebuilds: self.list.rebuild_count(),
-            kernel_invocations: self.invocations,
-            pairs_evaluated: self.pairs_evaluated,
+            neighbor_rebuilds: self.rebuilds.get(),
+            kernel_invocations: self.invocations.get(),
+            pairs_evaluated: self.pairs_evaluated.get(),
         }
+    }
+
+    /// Export live views of this evaluator's counters through `t`'s
+    /// registry (single-evaluator wiring; ensemble paths aggregate via
+    /// [`KernelCounters::publish`] instead so concurrent realizations
+    /// sum deterministically).
+    pub fn bind_telemetry(&self, t: &Telemetry) {
+        t.bind_counter("md.neighbor_rebuilds", &self.rebuilds);
+        t.bind_counter("md.kernel_invocations", &self.invocations);
+        t.bind_counter("md.pairs_evaluated", &self.pairs_evaluated);
     }
 
     /// Sizes of the compiled `(lj_only, lj_plus_dh)` tiers.
@@ -350,12 +367,15 @@ impl NonBonded {
             return self.compute_reference(topology, positions, charges, _species, forces);
         }
         let rebuilt = self.list.update(positions);
+        if rebuilt {
+            self.rebuilds.incr();
+        }
         if self.tiers.stale(rebuilt, topology, charges) {
             self.tiers
                 .compile(self.list.pairs(), topology, charges, self.dh);
         }
-        self.invocations += 1;
-        self.pairs_evaluated += self.tiers.pair_count();
+        self.invocations.incr();
+        self.pairs_evaluated.add(self.tiers.pair_count());
 
         let lj_cut2 = self.lj.cutoff * self.lj.cutoff;
         let es_cut2 = self.list.cutoff() * self.list.cutoff();
@@ -444,9 +464,11 @@ impl NonBonded {
         _species: &[u32],
         forces: &mut [Vec3],
     ) -> (f64, f64) {
-        self.list.update(positions);
-        self.invocations += 1;
-        self.pairs_evaluated += self.list.pairs().len() as u64;
+        if self.list.update(positions) {
+            self.rebuilds.incr();
+        }
+        self.invocations.incr();
+        self.pairs_evaluated.add(self.list.pairs().len() as u64);
         let lj_cut2 = self.lj.cutoff * self.lj.cutoff;
         let es_cut2 = self.list.cutoff() * self.list.cutoff();
         let mut e_lj = 0.0;

@@ -42,6 +42,19 @@ impl KernelCounters {
             self.kernel_invocations as f64 / self.neighbor_rebuilds as f64
         }
     }
+
+    /// Accumulate this snapshot into `t`'s global `md.*` counters.
+    /// Counter sums commute, so concurrent realizations publishing their
+    /// totals produce one deterministic aggregate however the scheduler
+    /// interleaved them — the ensemble-side registry wiring (single
+    /// evaluators bind live views via `NonBonded::bind_telemetry`).
+    pub fn publish(&self, t: &spice_telemetry::Telemetry) {
+        t.counter("md.neighbor_rebuilds")
+            .add(self.neighbor_rebuilds);
+        t.counter("md.kernel_invocations")
+            .add(self.kernel_invocations);
+        t.counter("md.pairs_evaluated").add(self.pairs_evaluated);
+    }
 }
 
 /// End-to-end distance of an ordered chain of particle indices.

@@ -13,6 +13,7 @@ use crate::integrate::Integrator;
 use crate::system::System;
 use crate::vec3::Vec3;
 use crate::MdError;
+use spice_telemetry::{ProbePoint, Telemetry, Track};
 
 /// A per-step bias force (SMD pulling spring, IMD user force). Applied
 /// inside the force evaluation so integrator sub-steps see it.
@@ -72,6 +73,11 @@ pub struct Simulation {
     last_bias_energy: f64,
     /// Steps between numerical-health checks.
     blowup_check_stride: u64,
+    /// Instrumentation handles; disabled (zero-cost checks) by default.
+    telemetry: Telemetry,
+    track: Track,
+    /// Rebuild count at the last probe, for rebuild-edge detection.
+    last_rebuilds: u64,
 }
 
 impl Simulation {
@@ -96,9 +102,29 @@ impl Simulation {
             last_energies: Energies::default(),
             last_bias_energy: 0.0,
             blowup_check_stride: 100,
+            telemetry: Telemetry::disabled(),
+            track: Track::disabled(),
+            last_rebuilds: 0,
         };
         sim.refresh_forces();
         sim
+    }
+
+    /// Attach instrumentation: per-step force-eval / Verlet-rebuild
+    /// probes fire on `t`, and span/instant events land on `track` (its
+    /// logical clock is this simulation's step counter). Attaching never
+    /// perturbs the trajectory — instrumented runs stay bit-identical.
+    ///
+    /// Kernel-counter export is separate on purpose: a lone simulation
+    /// can bind live registry views via
+    /// `force_field().bind_telemetry(t)`, while concurrent ensemble
+    /// realizations publish snapshot totals with
+    /// [`crate::observables::KernelCounters::publish`] (commutative
+    /// sums; a live bind would be last-writer-wins across threads).
+    pub fn attach_telemetry(&mut self, t: &Telemetry, track: Track) {
+        self.telemetry = t.clone();
+        self.track = track;
+        self.last_rebuilds = self.force_field.kernel_counters().neighbor_rebuilds;
     }
 
     /// Install (or clear) the bias force.
@@ -150,12 +176,29 @@ impl Simulation {
         self.step += 1;
         #[cfg(feature = "audit")]
         crate::audit::check_finite_state(&self.system, self.step);
+        if self.telemetry.is_enabled() {
+            self.track.tick(self.step);
+            self.telemetry
+                .probe(ProbePoint::ForceEval, self.step, self.last_energies.total());
+            let rebuilds = self.force_field.kernel_counters().neighbor_rebuilds;
+            if rebuilds != self.last_rebuilds {
+                self.last_rebuilds = rebuilds;
+                self.telemetry
+                    .probe(ProbePoint::VerletRebuild, self.step, rebuilds as f64);
+                self.track.instant("md.verlet_rebuild", Vec::new());
+            }
+        }
     }
 
     /// Run `nsteps` steps, invoking each hook after every step. Stops
     /// early (without error) when any hook returns [`HookAction::Stop`].
     /// Checks numerical health periodically.
     pub fn run(&mut self, nsteps: u64, hooks: &mut [&mut dyn StepHook]) -> Result<u64, MdError> {
+        let _span = if self.track.is_enabled() {
+            Some(self.track.span("md.run"))
+        } else {
+            None
+        };
         let mut done = 0;
         for _ in 0..nsteps {
             self.step_once();

@@ -13,6 +13,7 @@ use rayon::prelude::*;
 use spice_md::checkpoint::Snapshot;
 use spice_md::{MdError, Simulation};
 use spice_stats::rng::SeedSequence;
+use spice_telemetry::Telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run `n` independent realizations of `protocol`.
@@ -104,6 +105,43 @@ pub fn run_ensemble_cloned<F>(
 where
     F: Fn(u64) -> Simulation + Sync,
 {
+    run_ensemble_cloned_traced(
+        factory,
+        protocol,
+        n,
+        seeds,
+        decorrelation_steps,
+        &Telemetry::disabled(),
+        0,
+    )
+}
+
+/// [`run_ensemble_cloned`] with telemetry attached.
+///
+/// The shared equilibration runs under an `smd.equilibrate` span on the
+/// `("smd.ensemble", track_key)` track; realization `i` gets its own
+/// `("smd.realization", i)` track carrying an `smd.realization` span plus
+/// the per-step MD probes/instants (the track's logical clock is the
+/// simulation step counter). Kernel counters are *published* — snapshot
+/// totals added into the shared `md.*` counters after each realization
+/// finishes — rather than live-bound, so concurrent realizations
+/// aggregate deterministically (sums commute; a live bind would be
+/// last-writer-wins). Passing `Telemetry::disabled()` makes every hook a
+/// no-op; either way the trajectories are bit-identical to the untraced
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble_cloned_traced<F>(
+    factory: F,
+    protocol: &PullProtocol,
+    n: usize,
+    seeds: SeedSequence,
+    decorrelation_steps: u64,
+    telemetry: &Telemetry,
+    track_key: u64,
+) -> Vec<Result<WorkTrajectory, MdError>>
+where
+    F: Fn(u64) -> Simulation + Sync,
+{
     protocol.validate();
     if n == 0 {
         return Vec::new();
@@ -112,10 +150,19 @@ where
     // never collide with a realization seed (streams are indexed 0..n) or
     // the pipeline's bootstrap stream (u64::MAX on the *parent* sequence).
     let master_seed = seeds.child(u64::MAX).stream(0);
+    let ens_track = telemetry.track("smd.ensemble", track_key);
     let master = (|| -> Result<Snapshot, MdError> {
+        let _span = ens_track.span("smd.equilibrate");
         let mut sim = factory(master_seed);
+        if telemetry.is_enabled() {
+            sim.attach_telemetry(telemetry, ens_track.clone());
+        }
         anchor_and_hold(&mut sim, protocol, protocol.equilibration_steps)?;
-        Ok(Snapshot::capture(&sim, "shared-equilibration"))
+        let snap = Snapshot::capture(&sim, "shared-equilibration");
+        if telemetry.is_enabled() {
+            sim.kernel_counters().publish(telemetry);
+        }
+        Ok(snap)
     })();
     let snap = match master {
         Ok(snap) => snap,
@@ -132,15 +179,24 @@ where
         .map(|i| {
             let seed = seeds.stream(i as u64);
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r_track = telemetry.track("smd.realization", i as u64);
+                let _span = r_track.span("smd.realization");
                 // Fresh thermostat seed + restored state = divergent clone.
                 let mut sim = factory(seed);
+                if telemetry.is_enabled() {
+                    sim.attach_telemetry(telemetry, r_track.clone());
+                }
                 snap.restore(&mut sim)?;
                 // Post-clone decorrelation: held spring, new noise stream.
                 // The hold re-anchors at the clone's current COM, and the
                 // pull starts from that same anchor — the same
                 // hold-then-pull continuity run_pull has.
                 let com0 = anchor_and_hold(&mut sim, protocol, decorrelation_steps)?;
-                pull_from(&mut sim, protocol, seed, com0).map(|o| o.trajectory)
+                let out = pull_from(&mut sim, protocol, seed, com0).map(|o| o.trajectory);
+                if telemetry.is_enabled() {
+                    sim.kernel_counters().publish(telemetry);
+                }
+                out
             }))
             .unwrap_or_else(|_| {
                 Err(MdError::NumericalBlowup {

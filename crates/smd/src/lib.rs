@@ -31,7 +31,9 @@ pub mod pulling;
 pub mod runner;
 pub mod work;
 
-pub use ensemble::{run_ensemble, run_ensemble_cloned, run_ensemble_with_progress};
+pub use ensemble::{
+    run_ensemble, run_ensemble_cloned, run_ensemble_cloned_traced, run_ensemble_with_progress,
+};
 pub use protocol::PullProtocol;
 pub use pulling::SmdSpring;
 pub use runner::{anchor_and_hold, pull_from, run_pull, run_reverse_pull, PullOutcome};

@@ -44,6 +44,12 @@ pub const RULES: &[RuleInfo] = &[
                   annotation; use expect with an invariant message or return Result",
     },
     RuleInfo {
+        id: "T001",
+        summary: "println!/eprintln! (or print!/eprint!) in non-test library code: \
+                  route output through return values or the telemetry layer; \
+                  direct printing belongs to CLI mains and report paths only",
+    },
+    RuleInfo {
         id: "A001",
         summary: "malformed spice-lint directive (unknown form, bad rule id, \
                   or allow without a written reason)",
@@ -58,8 +64,11 @@ pub const RULES: &[RuleInfo] = &[
 /// path (rule D001's scope).
 const SIM_CRATES: &[&str] = &["gridsim", "md", "smd", "core"];
 
-/// Crate directories exempt from D002 (benchmarks time things by design).
-const ENTROPY_EXEMPT_CRATES: &[&str] = &["bench"];
+/// Crate directories exempt from D002: benchmarks time things by design,
+/// and the telemetry crate is the one sanctioned wall-clock reader (its
+/// `Instant::now` lives behind the off-by-default `timing` feature so
+/// deterministic builds contain no clock reads).
+const ENTROPY_EXEMPT_CRATES: &[&str] = &["bench", "telemetry"];
 
 /// A rule violation before allow-filtering.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -316,6 +325,25 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
                         });
                     }
                 }
+                // T001 — stray stdout/stderr prints in non-test code.
+                // Intentional CLI entry points and report paths carry an
+                // allow annotation or a baseline entry.
+                if !in_test
+                    && matches!(name, "println" | "eprintln" | "print" | "eprint")
+                    && next_is(tokens, i, TokKind::Punct('!'))
+                {
+                    out.push(RawDiagnostic {
+                        rule: "T001",
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "`{name}!` in library code writes straight to the terminal \
+                             — return the text, or record it through the telemetry \
+                             layer; direct printing is for CLI mains and report paths \
+                             (annotate or baseline those)"
+                        ),
+                    });
+                }
             }
             // N002 — float ==/!= against a float literal.
             TokKind::EqEq | TokKind::Ne if !in_test && float_operand(tokens, i) => {
@@ -510,6 +538,28 @@ mod tests {
         let hits = run("crates/md/src/x.rs", src);
         assert_eq!(rules_fired(&hits), ["P001"]);
         assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn t001_prints_in_lib_code_only() {
+        assert_eq!(
+            rules_fired(&run("crates/md/src/x.rs", "println!(\"{x}\");")),
+            ["T001"]
+        );
+        assert_eq!(
+            rules_fired(&run("crates/steering/src/x.rs", "eprintln!(\"warn\");")),
+            ["T001"]
+        );
+        // Tests, benches and examples print freely.
+        assert!(run("crates/md/tests/t.rs", "println!(\"{x}\");").is_empty());
+        assert!(run("examples/demo.rs", "println!(\"{x}\");").is_empty());
+        // CLI front-ends are NOT path-exempt — they get baseline entries.
+        assert_eq!(
+            rules_fired(&run("src/main.rs", "println!(\"{x}\");")),
+            ["T001"]
+        );
+        // A `println` ident without the macro bang is something else.
+        assert!(run("crates/md/src/x.rs", "let println = 3; println == 4;").is_empty());
     }
 
     #[test]

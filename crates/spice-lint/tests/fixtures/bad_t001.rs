@@ -1,0 +1,5 @@
+// T001: direct terminal output from library code.
+pub fn report_progress(step: u64) {
+    println!("step {step}");
+    eprintln!("still going");
+}

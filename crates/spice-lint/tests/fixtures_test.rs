@@ -69,6 +69,17 @@ fn p001_fires_on_unwrap_and_panic() {
 }
 
 #[test]
+fn t001_fires_on_prints_in_lib_code() {
+    let src = include_str!("fixtures/bad_t001.rs");
+    assert_eq!(
+        fired(&lint("crates/md/src/bad.rs", src)),
+        [("T001", 3), ("T001", 4)]
+    );
+    // Test trees print freely; CLI front-ends get baseline entries.
+    assert!(lint("crates/md/tests/bad.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     let src = include_str!("fixtures/clean.rs");
     assert!(fired(&lint("crates/gridsim/src/clean.rs", src)).is_empty());
@@ -123,7 +134,7 @@ fn cli_deny_exits_nonzero_on_bad_fixtures() {
         "fixture dir full of violations must fail --deny"
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["D002", "N001", "N002", "P001", "A002"] {
+    for rule in ["D002", "N001", "N002", "P001", "T001", "A002"] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
 }

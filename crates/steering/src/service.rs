@@ -12,6 +12,7 @@
 use crate::message::{ControlMessage, Frame};
 use parking_lot::Mutex;
 use spice_md::checkpoint::Snapshot;
+use spice_telemetry::{ProbePoint, Telemetry, Track};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -54,6 +55,8 @@ pub struct GridService {
     /// Bounded session log of routed messages (newest kept).
     log: VecDeque<LogEntry>,
     log_capacity: usize,
+    telemetry: Telemetry,
+    track: Track,
 }
 
 /// Thread-shared service handle.
@@ -89,7 +92,19 @@ impl GridService {
             delivered: 0,
             log: VecDeque::new(),
             log_capacity: 4096,
+            telemetry: Telemetry::disabled(),
+            track: Track::disabled(),
         }
+    }
+
+    /// Attach telemetry: every routed message becomes a
+    /// `steering.message` instant on the `("steering.service", 0)` track
+    /// (the logical clock is the delivered-message sequence number),
+    /// bumps the `steering.messages` counter plus a per-kind counter, and
+    /// fires the `SteeringMessage` probe. Routing behaviour is unchanged.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.telemetry = t.clone();
+        self.track = t.track("steering.service", 0);
     }
 
     /// Wrap in a thread-shared handle.
@@ -161,6 +176,20 @@ impl GridService {
             to,
             kind,
         });
+        if self.telemetry.is_enabled() {
+            self.track.tick(self.delivered);
+            self.track.instant_at(
+                "steering.message",
+                self.delivered,
+                vec![("kind", kind.to_string()), ("to", to.to_string())],
+            );
+            self.telemetry.counter("steering.messages").incr();
+            self.telemetry
+                .counter(&format!("steering.messages.{kind}"))
+                .incr();
+            self.telemetry
+                .probe(ProbePoint::SteeringMessage, self.delivered, f64::from(to));
+        }
     }
 
     /// The routed-message session log (bounded; newest entries kept).

@@ -1,0 +1,38 @@
+//! Golden-file test: the Chrome-trace exporter must emit a byte-stable
+//! artifact for a fixed event stream. Any format drift shows up as a
+//! diff against `tests/golden/chrome_trace.json`.
+//!
+//! Gated on the default (no `timing`) build: with wall-clock capture on,
+//! `ts` intentionally stops being reproducible.
+
+#![cfg(not(feature = "timing"))]
+
+use spice_telemetry::Telemetry;
+
+fn fixed_stream() -> Telemetry {
+    let t = Telemetry::enabled();
+    let track = t.track("grid.job", 7);
+    {
+        let _attempt = track.span_at("attempt", 0);
+        track.tick(3);
+        track.instant("failure", vec![("kind", "node-crash".to_string())]);
+        track.tick(10);
+    }
+    t.counter("grid.retries").add(2);
+    t
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let got = fixed_stream().chrome_trace();
+    let want = include_str!("golden/chrome_trace.json");
+    assert_eq!(
+        got, want,
+        "chrome trace format drifted from the golden file"
+    );
+}
+
+#[test]
+fn chrome_trace_is_replay_stable() {
+    assert_eq!(fixed_stream().chrome_trace(), fixed_stream().chrome_trace());
+}

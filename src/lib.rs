@@ -13,6 +13,7 @@
 //! * [`steering`] — RealityGrid-style computational steering framework.
 //! * [`core`] — the SPICE application: three-phase workflow and the
 //!   experiment drivers that regenerate every figure and table.
+//! * [`telemetry`] — deterministic spans, counters and profiling hooks.
 
 pub use spice_core as core;
 pub use spice_gridsim as gridsim;
@@ -22,3 +23,4 @@ pub use spice_pore as pore;
 pub use spice_smd as smd;
 pub use spice_stats as stats;
 pub use spice_steering as steering;
+pub use spice_telemetry as telemetry;

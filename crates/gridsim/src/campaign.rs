@@ -13,13 +13,17 @@
 //! per-job queue-entry delays representing competing background load, and
 //! full-site outage windows.
 
-use crate::failure::{blocked_windows, Outage};
-use crate::federation::Federation;
+use crate::failure::{blocked_windows, Outage, OutageCause};
+use crate::federation::{Federation, Grid};
 use crate::job::{Job, JobRecord};
-use crate::resource::SiteId;
+use crate::resource::{Site, SiteId};
 use crate::scheduler::profile::CapacityProfile;
 use serde::{Deserialize, Serialize};
-use spice_stats::rng::seed_stream;
+use spice_stats::rng::{seed_stream, unit_f64};
+
+/// Salt separating the synthetic-campaign generator's seed streams from
+/// the engine's own per-(job, site) queue-wait streams.
+const SYNTH_SALT: u64 = 0x5359_4E54_4845_5449; // "SYNTHETI"
 
 /// A campaign: jobs + federation + outages.
 #[derive(Debug, Clone)]
@@ -127,6 +131,128 @@ impl Campaign {
         Campaign {
             outages: sc05_outages(),
             ..Campaign::paper_batch_phase(seed)
+        }
+    }
+
+    /// A scale-testing campaign: `n_jobs` jobs over `n_sites` synthetic
+    /// sites, deterministic under `seed` (and independent of the
+    /// engine's own stochastic streams, which are salted differently).
+    ///
+    /// The generated population exercises every engine path the paper
+    /// federation does, at arbitrary scale:
+    ///
+    /// * site 0 is a 512-processor, public-IP, lightpath hub, so every
+    ///   job — including the widest and the steering-coupled — always
+    ///   has at least one feasible site;
+    /// * the remaining sites draw capacities from 2005-era tiers
+    ///   (64–384 processors), varied speed factors, and a minority of
+    ///   hidden-IP sites with and without gateways;
+    /// * job widths are tiered (64–512), wall-times are heavy-tailed
+    ///   (Pareto, capped at one week of reference hours), ~10% of jobs
+    ///   are steering-coupled, and releases arrive in eight waves;
+    /// * `n_sites / 3` outage windows hit non-hub sites with cycling
+    ///   causes.
+    ///
+    /// # Panics
+    /// Panics when `n_jobs` or `n_sites` is zero.
+    pub fn synthetic(n_jobs: usize, n_sites: usize, seed: u64) -> Campaign {
+        assert!(n_jobs > 0, "synthetic campaign needs at least one job");
+        assert!(n_sites > 0, "synthetic campaign needs at least one site");
+        let master = seed ^ SYNTH_SALT;
+        let mut sites = Vec::with_capacity(n_sites);
+        sites.push(Site {
+            id: 0,
+            name: "syn-hub".into(),
+            grid: "SynWest".into(),
+            procs: 512,
+            speed: 1.0,
+            mean_queue_wait: 8.0,
+            hidden_ip: false,
+            has_gateway: false,
+            lightpath: true,
+        });
+        for i in 1..n_sites {
+            let si = i as u64;
+            let tier = [64u32, 128, 256, 384];
+            let procs = tier[(seed_stream(master, si) % tier.len() as u64) as usize];
+            let speed = 0.8 + 0.4 * unit_f64(seed_stream(master, 0x1000 + si));
+            let wait = 4.0 + 10.0 * unit_f64(seed_stream(master, 0x2000 + si));
+            let hidden = unit_f64(seed_stream(master, 0x3000 + si)) < 0.2;
+            let gateway = hidden && unit_f64(seed_stream(master, 0x4000 + si)) < 0.5;
+            let lightpath = unit_f64(seed_stream(master, 0x5000 + si)) < 0.6;
+            sites.push(Site {
+                id: i as SiteId,
+                name: format!("syn-{i:03}"),
+                grid: if i % 2 == 0 { "SynWest" } else { "SynEast" }.into(),
+                procs,
+                speed,
+                mean_queue_wait: wait,
+                hidden_ip: hidden,
+                has_gateway: gateway,
+                lightpath,
+            });
+        }
+        let grids = ["SynWest", "SynEast"]
+            .iter()
+            .map(|g| Grid {
+                name: (*g).into(),
+                sites: sites
+                    .iter()
+                    .filter(|s| s.grid == *g)
+                    .map(|s| s.id)
+                    .collect(),
+            })
+            .filter(|g| !g.sites.is_empty())
+            .collect();
+
+        let wave = n_jobs.div_ceil(8).max(1);
+        let jobs = (0..n_jobs)
+            .map(|i| {
+                let ji = i as u64;
+                let u = unit_f64(seed_stream(master, 0x10_0000 + ji));
+                let procs = match u {
+                    u if u < 0.35 => 64,
+                    u if u < 0.65 => 128,
+                    u if u < 0.85 => 256,
+                    u if u < 0.95 => 384,
+                    _ => 512,
+                };
+                // Heavy-tailed runtimes: Pareto(x_m = 0.3 h, α = 1.3)
+                // capped at one reference week, so most jobs are short
+                // but the tail keeps sites busy across waves.
+                let v = unit_f64(seed_stream(master, 0x20_0000 + ji));
+                let wall = (0.3 * (1.0 - v).max(1e-12).powf(-1.0 / 1.3)).min(168.0);
+                let mut j = Job::new(i as u32, format!("syn-{i:06}"), procs, wall);
+                j.release_hours = (i / wave) as f64 * 2.0;
+                if unit_f64(seed_stream(master, 0x30_0000 + ji)) < 0.1 {
+                    j = j.steering_coupled();
+                }
+                j
+            })
+            .collect();
+
+        let causes = [
+            OutageCause::Hardware,
+            OutageCause::Maintenance,
+            OutageCause::MiddlewareImmaturity,
+            OutageCause::SecurityBreach,
+        ];
+        let outages = (0..n_sites / 3)
+            .map(|k| {
+                let ki = k as u64;
+                // Never the hub: wide jobs must keep a feasible site.
+                let site = 1 + (seed_stream(master, 0x40_0000 + ki) % (n_sites as u64 - 1));
+                let start = 100.0 * unit_f64(seed_stream(master, 0x50_0000 + ki));
+                let dur = 5.0 + 50.0 * unit_f64(seed_stream(master, 0x60_0000 + ki));
+                Outage::new(site as SiteId, start, start + dur, causes[k % causes.len()])
+            })
+            .collect();
+
+        Campaign {
+            federation: Federation { sites, grids },
+            jobs,
+            outages,
+            seed,
         }
     }
 
@@ -345,6 +471,65 @@ mod tests {
         let c = Campaign::sc05_outage_phase(1);
         assert_eq!(c.outages, outs);
         assert_eq!(c.jobs.len(), 72);
+    }
+
+    #[test]
+    fn synthetic_campaign_is_deterministic_and_well_formed() {
+        let a = Campaign::synthetic(200, 9, 42);
+        let b = Campaign::synthetic(200, 9, 42);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.outages, b.outages);
+        assert_eq!(a.federation.sites, b.federation.sites);
+        let c = Campaign::synthetic(200, 9, 43);
+        assert_ne!(a.jobs, c.jobs, "seed must matter");
+
+        assert_eq!(a.jobs.len(), 200);
+        assert_eq!(a.federation.sites.len(), 9);
+        assert_eq!(a.outages.len(), 3);
+        for (i, s) in a.federation.sites.iter().enumerate() {
+            assert_eq!(s.id as usize, i, "site ids must be indices");
+        }
+        for o in &a.outages {
+            assert_ne!(o.site, 0, "outages never hit the hub");
+            assert!(o.end > o.start);
+        }
+        // Every job fits the hub; coupled jobs have a connectable site.
+        for j in &a.jobs {
+            assert!(a.federation.sites[0].fits(j.procs), "{} too wide", j.name);
+            assert!(j.wall_hours > 0.0 && j.wall_hours <= 168.0);
+            if j.coupled {
+                assert!(
+                    a.federation
+                        .sites
+                        .iter()
+                        .any(|s| s.fits(j.procs)
+                            && crate::hidden_ip::steering_connectivity(s).is_ok())
+                );
+            }
+        }
+        let coupled = a.jobs.iter().filter(|j| j.coupled).count();
+        assert!(
+            coupled > 0 && coupled < a.jobs.len() / 4,
+            "~10% coupled, got {coupled}/200"
+        );
+        // The heavy tail is actually heavy: spread well past the median.
+        let longest = a.jobs.iter().map(|j| j.wall_hours).fold(0.0, f64::max);
+        assert!(longest > 10.0, "tail too light: max {longest} h");
+    }
+
+    #[test]
+    fn synthetic_campaign_replays_through_the_resilient_engine() {
+        let c = Campaign::synthetic(150, 7, 7);
+        let r = crate::resilience::run_resilient(
+            &c,
+            &crate::resilience::ResiliencePolicy::checkpoint_failover(),
+        );
+        assert_eq!(
+            r.result.records.len() + r.abandoned.len(),
+            150,
+            "every synthetic job completes or is abandoned"
+        );
+        assert!(r.goodput_cpu_hours > 0.0);
     }
 
     #[test]

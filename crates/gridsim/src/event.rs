@@ -75,6 +75,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -90,6 +91,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            peak: 0,
         }
     }
 
@@ -111,6 +113,7 @@ impl<E> EventQueue<E> {
             payload,
         });
         self.seq += 1;
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Schedule `payload` `dh` hours from the current time.
@@ -130,6 +133,7 @@ impl<E> EventQueue<E> {
             payload,
         });
         self.seq += 1;
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Pop the next event, advancing the clock.
@@ -160,6 +164,11 @@ impl<E> EventQueue<E> {
         })
     }
 
+    /// The next event to pop — `(time, &payload)` — without popping it.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.payload))
+    }
+
     /// Current simulation time (time of the last popped event).
     pub fn now(&self) -> SimTime {
         self.now
@@ -173,6 +182,11 @@ impl<E> EventQueue<E> {
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// High-water mark of pending events over the queue's lifetime.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 }
 
@@ -234,6 +248,20 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(SimTime::from_hours(1.0), ());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peak_len_is_a_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(SimTime::from_hours(f64::from(i)), i);
+        }
+        for _ in 0..3 {
+            q.pop();
+        }
+        q.schedule(SimTime::from_hours(9.0), 9);
+        assert_eq!(q.peak_len(), 5, "peak never shrinks on pops");
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

@@ -237,6 +237,61 @@ pub fn blocked_windows(outages: &[Outage], site: SiteId) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// Per-site index over outage windows for O(log n) "how much outage is
+/// left at time t" queries on the dispatch hot path.
+///
+/// Windows are kept start-sorted with a running prefix-maximum of end
+/// times; `remaining(now)` binary-searches for the windows starting at
+/// or before `now` and reads the largest end among them. Overlapping
+/// windows are deliberately *not* merged: the answer must equal
+/// `max(end - now)` over the windows covering `now` (the scan the
+/// resilience engine originally did), and merging would change it.
+#[derive(Debug, Clone, Default)]
+pub struct OutageIndex {
+    starts: Vec<f64>,
+    prefix_max_end: Vec<f64>,
+}
+
+impl OutageIndex {
+    /// Index the outage windows of `site`.
+    pub fn build(outages: &[Outage], site: SiteId) -> OutageIndex {
+        let mut windows: Vec<(f64, f64)> = outages
+            .iter()
+            .filter(|o| o.site == site)
+            .map(|o| (o.start, o.end))
+            .collect();
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut starts = Vec::with_capacity(windows.len());
+        let mut prefix_max_end = Vec::with_capacity(windows.len());
+        let mut max_end = f64::NEG_INFINITY;
+        for (s, e) in windows {
+            max_end = max_end.max(e);
+            starts.push(s);
+            prefix_max_end.push(max_end);
+        }
+        OutageIndex {
+            starts,
+            prefix_max_end,
+        }
+    }
+
+    /// Hours of outage left at `now`: `max(end - now)` over windows
+    /// covering `now` (half-open, like [`Outage::covers`]), 0.0 when
+    /// none does.
+    pub fn remaining(&self, now: f64) -> f64 {
+        let k = self.starts.partition_point(|&s| s <= now);
+        if k == 0 {
+            return 0.0;
+        }
+        let max_end = self.prefix_max_end[k - 1];
+        if max_end > now {
+            max_end - now
+        } else {
+            0.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +329,43 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_window_rejected() {
         Outage::new(0, 5.0, 5.0, OutageCause::Hardware);
+    }
+
+    /// The index must agree exactly with the linear scan it replaces —
+    /// including on overlapping windows, where merging would be wrong
+    /// (e.g. [0,10] and [5,20] at t=3: covering max is 10-3=7, a merged
+    /// [0,20] would claim 17).
+    #[test]
+    fn outage_index_matches_linear_scan() {
+        use spice_stats::rng::{seed_stream, unit_f64};
+        let scan = |outages: &[Outage], now: f64| -> f64 {
+            outages
+                .iter()
+                .filter(|o| o.site == 1 && o.covers(now))
+                .map(|o| o.end - now)
+                .fold(0.0, f64::max)
+        };
+        let mut outages = vec![
+            Outage::new(1, 0.0, 10.0, OutageCause::Hardware),
+            Outage::new(1, 5.0, 20.0, OutageCause::Maintenance),
+            Outage::new(0, 0.0, 100.0, OutageCause::Hardware), // other site
+        ];
+        let idx = OutageIndex::build(&outages, 1);
+        assert_eq!(idx.remaining(3.0), 7.0, "no window merging");
+        assert_eq!(idx.remaining(5.0), 15.0);
+        assert_eq!(idx.remaining(20.0), 0.0, "half-open end");
+        assert_eq!(idx.remaining(-1.0), 0.0);
+        // Randomized agreement over a messy overlap structure.
+        for i in 0..40u64 {
+            let a = 50.0 * unit_f64(seed_stream(7, 2 * i));
+            let d = 0.1 + 30.0 * unit_f64(seed_stream(7, 2 * i + 1));
+            outages.push(Outage::new(1, a, a + d, OutageCause::Hardware));
+        }
+        let idx = OutageIndex::build(&outages, 1);
+        for t in 0..1000 {
+            let now = f64::from(t) * 0.1;
+            assert_eq!(idx.remaining(now), scan(&outages, now), "t = {now}");
+        }
     }
 
     #[test]

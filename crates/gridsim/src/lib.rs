@@ -31,7 +31,13 @@
 //!   campaign through FCFS queues, for plan-vs-reality ablations.
 //! * [`resilience`] — fault-tolerant campaign execution: failure
 //!   injection, explicit Drain/Kill outage semantics, checkpoint/restart
-//!   and retry-with-failover, with goodput/badput accounting.
+//!   and retry-with-failover, with goodput/badput accounting. The engine
+//!   is fully indexed (events carry dense indices, heap-backed site
+//!   schedulers, allocation-free dispatch) so campaigns of 10⁵–10⁶ jobs
+//!   replay in seconds.
+//! * [`reference`] — the frozen pre-rework seed engine, kept as a
+//!   runtime oracle: equivalence tests replay campaigns through both
+//!   engines and require bit-identical results.
 //! * [`metrics`] — utilization, wait-time and makespan accounting.
 //! * [`trace`] — text Gantt charts and job/failure listings of campaign
 //!   runs.
@@ -53,6 +59,7 @@ pub mod hidden_ip;
 pub mod job;
 pub mod metrics;
 pub mod network;
+pub mod reference;
 pub mod resilience;
 pub mod resource;
 pub mod scheduler;
@@ -60,12 +67,12 @@ pub mod trace;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use event::{EventQueue, SimTime};
-pub use failure::{FailureEvent, FailureKind, FailureModel, Outage};
+pub use failure::{FailureEvent, FailureKind, FailureModel, Outage, OutageIndex};
 pub use federation::{Federation, Grid};
 pub use job::{Job, JobId, JobRecord};
 pub use resilience::{
     run_resilient, run_resilient_traced, run_resilient_with_dispatch,
-    run_resilient_with_dispatch_traced, CheckpointPolicy, OutagePolicy, ResiliencePolicy,
-    ResilientResult, RetryPolicy,
+    run_resilient_with_dispatch_traced, run_resilient_with_stats, CheckpointPolicy, EngineStats,
+    OutagePolicy, ResiliencePolicy, ResilientResult, RetryPolicy,
 };
 pub use resource::{Site, SiteId};

@@ -1,0 +1,853 @@
+//! The frozen seed-engine oracle: a verbatim copy of the O(n²)
+//! scan-based DES engine and FCFS scheduler as they existed before the
+//! indexed rework, kept so equivalence tests and scale benches can
+//! compare the optimized engine against true seed behaviour at runtime
+//! instead of against pinned fixtures.
+//!
+//! Everything here is intentionally unoptimized — linear `position()`
+//! lookups, per-submit `Job` clones, per-dispatch candidate vector
+//! allocations — because that *is* the contract: this module replays
+//! exactly what the seed engine replayed. Do not "fix" it; the indexed
+//! engine in [`crate::resilience`] must match it bit-for-bit instead.
+//! The only additions over the seed code are the [`EngineStats`]
+//! counters (event count, queue peaks) and the closing `grid.*` gauges,
+//! mirrored in the indexed engine so traced runs export byte-identical
+//! telemetry from both.
+
+use crate::campaign::{Campaign, CampaignResult};
+use crate::des::DispatchPolicy;
+use crate::event::{EventQueue, SimTime};
+use crate::failure::{FailureEvent, FailureKind};
+use crate::hidden_ip::steering_connectivity;
+use crate::job::{Job, JobId, JobRecord};
+use crate::resilience::{sim_ticks, EngineStats, OutagePolicy, ResiliencePolicy, ResilientResult};
+use spice_stats::rng::{seed_stream, unit_f64};
+use spice_telemetry::{Counter, ProbePoint, Telemetry, Track};
+use std::collections::VecDeque;
+
+/// Salt for resubmission queue-wait streams — must stay equal to the
+/// constant the live engine uses, or the oracle diverges by design.
+const RESUBMIT_SALT: u64 = 0x5245_5355_424D_4954;
+
+#[derive(Debug, Clone)]
+struct Queued {
+    job: Job,
+    ready: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    job_id: u32,
+    procs: u32,
+    finish: f64,
+}
+
+/// The seed FCFS + backfill scheduler: linear scans everywhere.
+#[derive(Debug, Clone)]
+struct SeedSiteScheduler {
+    free: u32,
+    queue: VecDeque<Queued>,
+    running: Vec<Running>,
+    down_until: Option<f64>,
+    peak_queued: usize,
+    #[cfg(feature = "audit")]
+    capacity: u32,
+}
+
+impl SeedSiteScheduler {
+    fn new(capacity: u32) -> Self {
+        assert!(capacity > 0);
+        SeedSiteScheduler {
+            free: capacity,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            down_until: None,
+            peak_queued: 0,
+            #[cfg(feature = "audit")]
+            capacity,
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn check_proc_conservation(&self) {
+        let used: u32 = self.running.iter().map(|r| r.procs).sum();
+        if self.free + used != self.capacity {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[gridsim.proc_conservation]: {} free + {} in \
+                 use != {} capacity",
+                self.free, used, self.capacity
+            );
+        }
+    }
+
+    fn submit(&mut self, job: Job, ready: f64) {
+        self.queue.push_back(Queued { job, ready });
+        self.peak_queued = self.peak_queued.max(self.queue.len());
+    }
+
+    fn set_down_until(&mut self, until: f64) {
+        self.down_until = Some(match self.down_until {
+            Some(cur) => cur.max(until),
+            None => until,
+        });
+    }
+
+    fn kill_running(&mut self) -> Vec<(u32, u32)> {
+        let killed: Vec<(u32, u32)> = self.running.iter().map(|r| (r.job_id, r.procs)).collect();
+        for (_, procs) in &killed {
+            self.free += procs;
+        }
+        self.running.clear();
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
+        killed
+    }
+
+    fn evict_queued(&mut self) -> Vec<Job> {
+        self.queue.drain(..).map(|q| q.job).collect()
+    }
+
+    fn preempt(&mut self, job_id: u32) -> u32 {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.job_id == job_id)
+            .expect("preempting a job that is not running");
+        let r = self.running.swap_remove(idx);
+        self.free += r.procs;
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
+        r.procs
+    }
+
+    fn try_start(&mut self, now: f64, mut runtime: impl FnMut(&Job) -> f64) -> Vec<(Job, f64)> {
+        if let Some(until) = self.down_until {
+            if now < until {
+                return Vec::new();
+            }
+        }
+        let mut started = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            let eligible = self.queue[i].ready <= now;
+            let fits = self.queue[i].job.procs <= self.free;
+            if eligible && fits {
+                let q = self.queue.remove(i).expect("index in range");
+                self.free -= q.job.procs;
+                let finish = now + runtime(&q.job);
+                self.running.push(Running {
+                    job_id: q.job.id,
+                    procs: q.job.procs,
+                    finish,
+                });
+                started.push((q.job, finish));
+                // restart scan: freeing order may let earlier entries in
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
+        started
+    }
+
+    fn finish(&mut self, job_id: u32) {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.job_id == job_id)
+            .expect("finishing a job that is not running");
+        let r = self.running.swap_remove(idx);
+        self.free += r.procs;
+        #[cfg(feature = "audit")]
+        self.check_proc_conservation();
+    }
+
+    fn next_finish(&self) -> Option<(u32, f64)> {
+        self.running
+            .iter()
+            .min_by(|a, b| a.finish.total_cmp(&b.finish))
+            .map(|r| (r.job_id, r.finish))
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Submit(usize),
+    Finish {
+        si: usize,
+        ji: usize,
+        attempt: u32,
+    },
+    Fail {
+        si: usize,
+        ji: usize,
+        attempt: u32,
+        kind: FailureKind,
+    },
+    OutageStart(usize),
+    OutageEnd(usize),
+    Poke(usize),
+}
+
+#[derive(Debug, Clone)]
+struct JobState {
+    attempt: u32,
+    remaining: f64,
+    consumed_ref_cpu_h: f64,
+    backlog_contrib: f64,
+    site_failures: Vec<u32>,
+    running: Option<(usize, f64)>,
+    last_site: Option<usize>,
+    done: bool,
+    abandoned: bool,
+}
+
+struct SeedEngine<'a> {
+    campaign: &'a Campaign,
+    policy: &'a ResiliencePolicy,
+    dispatch: DispatchPolicy,
+    schedulers: Vec<SeedSiteScheduler>,
+    states: Vec<JobState>,
+    records: Vec<JobRecord>,
+    failures: Vec<FailureEvent>,
+    abandoned: Vec<JobId>,
+    jobs_per_site: Vec<usize>,
+    backlog_cpu_h: Vec<f64>,
+    rr_cursor: usize,
+    total_retries: u32,
+    q: EventQueue<Ev>,
+    telemetry: Telemetry,
+    job_tracks: Vec<Track>,
+    campaign_track: Track,
+    des_events: Counter,
+    events_processed: u64,
+    #[cfg(feature = "audit")]
+    pending_submits: usize,
+}
+
+impl<'a> SeedEngine<'a> {
+    fn new(
+        campaign: &'a Campaign,
+        policy: &'a ResiliencePolicy,
+        dispatch: DispatchPolicy,
+        telemetry: &Telemetry,
+    ) -> Self {
+        let nsites = campaign.federation.sites.len();
+        let states = campaign
+            .jobs
+            .iter()
+            .map(|j| JobState {
+                attempt: 1,
+                remaining: j.wall_hours,
+                consumed_ref_cpu_h: 0.0,
+                backlog_contrib: 0.0,
+                site_failures: vec![0; nsites],
+                running: None,
+                last_site: None,
+                done: false,
+                abandoned: false,
+            })
+            .collect();
+        SeedEngine {
+            campaign,
+            policy,
+            dispatch,
+            schedulers: campaign
+                .federation
+                .sites
+                .iter()
+                .map(|s| SeedSiteScheduler::new(s.procs))
+                .collect(),
+            states,
+            records: Vec::with_capacity(campaign.jobs.len()),
+            failures: Vec::new(),
+            abandoned: Vec::new(),
+            jobs_per_site: vec![0; nsites],
+            backlog_cpu_h: vec![0.0; nsites],
+            rr_cursor: 0,
+            total_retries: 0,
+            q: EventQueue::new(),
+            telemetry: telemetry.clone(),
+            job_tracks: campaign
+                .jobs
+                .iter()
+                .map(|j| telemetry.track("grid.job", u64::from(j.id)))
+                .collect(),
+            campaign_track: telemetry.track("grid.campaign", campaign.seed),
+            des_events: telemetry.counter("grid.des_events"),
+            events_processed: 0,
+            #[cfg(feature = "audit")]
+            pending_submits: 0,
+        }
+    }
+
+    fn job_index(&self, id: JobId) -> usize {
+        self.campaign
+            .jobs
+            .iter()
+            .position(|j| j.id == id)
+            .expect("job id unknown to the campaign")
+    }
+
+    fn site_index(&self, id: crate::resource::SiteId) -> Option<usize> {
+        self.campaign
+            .federation
+            .sites
+            .iter()
+            .position(|s| s.id == id)
+    }
+
+    fn wait_sample(&self, ji: usize, si: usize, attempt: u32) -> f64 {
+        let index = (ji as u64) << 8 | si as u64;
+        let bits = if attempt == 1 {
+            seed_stream(self.campaign.seed, index)
+        } else {
+            seed_stream(
+                self.campaign.seed ^ RESUBMIT_SALT,
+                index | u64::from(attempt) << 32,
+            )
+        };
+        let u = unit_f64(bits);
+        -self.campaign.federation.sites[si].mean_queue_wait * (1.0 - u).max(1e-12).ln()
+    }
+
+    fn runtime_on(&self, ji: usize, si: usize) -> f64 {
+        self.policy
+            .checkpoint
+            .gross_hours(self.states[ji].remaining)
+            / self.campaign.federation.sites[si].speed
+    }
+
+    fn outage_remaining(&self, si: usize, now: f64) -> f64 {
+        let id = self.campaign.federation.sites[si].id;
+        self.campaign
+            .outages
+            .iter()
+            .filter(|o| o.site == id && o.covers(now))
+            .map(|o| o.end - now)
+            .fold(0.0, f64::max)
+    }
+
+    fn handle_submit(&mut self, ji: usize, now: f64) {
+        #[cfg(feature = "audit")]
+        {
+            self.pending_submits -= 1;
+        }
+        let job = &self.campaign.jobs[ji];
+        let sites = &self.campaign.federation.sites;
+        let fitting: Vec<usize> = (0..sites.len())
+            .filter(|&si| {
+                sites[si].fits(job.procs)
+                    && (!job.coupled || steering_connectivity(&sites[si]).is_ok())
+            })
+            .collect();
+        assert!(
+            !fitting.is_empty(),
+            "job {} ({} procs{}) fits nowhere in the federation",
+            job.name,
+            job.procs,
+            if job.coupled {
+                ", steering-coupled"
+            } else {
+                ""
+            }
+        );
+
+        let st = &self.states[ji];
+        let candidates: Vec<usize> = if !self.policy.retry.failover {
+            match st.last_site {
+                Some(si) => vec![si],
+                None => fitting.clone(),
+            }
+        } else if self.policy.retry.blacklist_threshold > 0 {
+            let open: Vec<usize> = fitting
+                .iter()
+                .copied()
+                .filter(|&si| st.site_failures[si] < self.policy.retry.blacklist_threshold)
+                .collect();
+            if open.is_empty() {
+                fitting.clone()
+            } else {
+                open
+            }
+        } else {
+            fitting.clone()
+        };
+
+        let attempt = st.attempt;
+        let si = match self.dispatch {
+            DispatchPolicy::EarliestCompletion => {
+                let mut best: Option<(usize, f64)> = None;
+                for &si in &candidates {
+                    let est = self.wait_sample(ji, si, attempt)
+                        + self.backlog_cpu_h[si] / f64::from(sites[si].procs)
+                        + self.runtime_on(ji, si)
+                        + self.outage_remaining(si, now);
+                    if best.is_none_or(|(_, b)| est < b) {
+                        best = Some((si, est));
+                    }
+                }
+                best.expect("candidates is non-empty").0
+            }
+            DispatchPolicy::RoundRobin => {
+                let si = candidates[self.rr_cursor % candidates.len()];
+                self.rr_cursor += 1;
+                si
+            }
+            DispatchPolicy::Random => {
+                let index = if attempt == 1 {
+                    ji as u64
+                } else {
+                    ji as u64 | u64::from(attempt) << 32
+                };
+                let u = seed_stream(self.campaign.seed ^ 0x5EED, index);
+                candidates[(u % candidates.len() as u64) as usize]
+            }
+        };
+
+        let queue_wait = self.wait_sample(ji, si, attempt);
+        let contrib = self
+            .policy
+            .checkpoint
+            .gross_hours(self.states[ji].remaining)
+            * f64::from(job.procs);
+        let st = &mut self.states[ji];
+        st.backlog_contrib = contrib;
+        st.last_site = Some(si);
+        self.backlog_cpu_h[si] += contrib;
+        self.schedulers[si].submit(job.clone(), now + queue_wait);
+        self.q
+            .schedule(SimTime::from_hours(now + queue_wait), Ev::Poke(si));
+    }
+
+    fn try_start_site(&mut self, si: usize, now: f64) {
+        let campaign = self.campaign;
+        let site = &campaign.federation.sites[si];
+        let speed = site.speed;
+        let policy = self.policy;
+        let states = &self.states;
+        let started = self.schedulers[si].try_start(now, |j| {
+            let ji = campaign
+                .jobs
+                .iter()
+                .position(|cj| cj.id == j.id)
+                .expect("queued job id unknown to the campaign");
+            policy.checkpoint.gross_hours(states[ji].remaining) / speed
+        });
+        for (job, finish) in started {
+            let ji = self.job_index(job.id);
+            #[cfg(feature = "audit")]
+            crate::audit::check_single_site(
+                job.id,
+                self.states[ji]
+                    .running
+                    .map(|(s, _)| campaign.federation.sites[s].id),
+                site.id,
+            );
+            let attempt = self.states[ji].attempt;
+            if policy
+                .failures
+                .launch_fails(campaign.seed, job.id, attempt, site)
+            {
+                self.schedulers[si].preempt(job.id);
+                self.fail_attempt(ji, si, now, FailureKind::LaunchFailure, 0.0);
+                continue;
+            }
+            self.states[ji].running = Some((si, now));
+            if self.telemetry.is_enabled() {
+                self.job_tracks[ji].enter_at("grid.attempt", sim_ticks(now));
+                self.job_tracks[ji].instant_at(
+                    "grid.start",
+                    sim_ticks(now),
+                    vec![
+                        ("site", site.name.clone()),
+                        ("attempt", attempt.to_string()),
+                    ],
+                );
+            }
+            let crash = policy
+                .failures
+                .crash_after(campaign.seed, job.id, attempt, site.id);
+            let routed_gateway = job.coupled && matches!(steering_connectivity(site), Ok(Some(_)));
+            let drop = if routed_gateway {
+                policy
+                    .failures
+                    .gateway_drop_after(campaign.seed, job.id, attempt, site.id)
+            } else {
+                f64::INFINITY
+            };
+            let (t_fail, kind) = if crash <= drop {
+                (crash, FailureKind::NodeCrash)
+            } else {
+                (drop, FailureKind::GatewayDrop)
+            };
+            if now + t_fail < finish {
+                self.q.schedule(
+                    SimTime::from_hours(now + t_fail),
+                    Ev::Fail {
+                        si,
+                        ji,
+                        attempt,
+                        kind,
+                    },
+                );
+            } else {
+                self.q
+                    .schedule(SimTime::from_hours(finish), Ev::Finish { si, ji, attempt });
+            }
+        }
+    }
+
+    fn is_current(&self, ji: usize, si: usize, attempt: u32) -> bool {
+        let st = &self.states[ji];
+        !st.done
+            && !st.abandoned
+            && st.attempt == attempt
+            && matches!(st.running, Some((s, _)) if s == si)
+    }
+
+    fn handle_finish(&mut self, si: usize, ji: usize, attempt: u32, now: f64) {
+        if !self.is_current(ji, si, attempt) {
+            return;
+        }
+        let job = &self.campaign.jobs[ji];
+        let site = &self.campaign.federation.sites[si];
+        let (_, start) = self.states[ji]
+            .running
+            .take()
+            .expect("current attempt must be running");
+        self.schedulers[si].finish(job.id);
+        if self.telemetry.is_enabled() {
+            self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
+            self.job_tracks[ji].instant_at(
+                "grid.complete",
+                sim_ticks(now),
+                vec![("attempts", attempt.to_string())],
+            );
+            self.telemetry.counter("grid.jobs_completed").incr();
+        }
+        let st = &mut self.states[ji];
+        let gross = self.policy.checkpoint.gross_hours(st.remaining);
+        st.consumed_ref_cpu_h += gross * f64::from(job.procs);
+        st.remaining = 0.0;
+        st.done = true;
+        self.backlog_cpu_h[si] -= st.backlog_contrib;
+        st.backlog_contrib = 0.0;
+        let lost = (st.consumed_ref_cpu_h - job.cpu_hours()).max(0.0);
+        self.records.push(JobRecord {
+            job: job.id,
+            site: site.id,
+            submitted: job.release_hours,
+            started: start,
+            finished: now,
+            procs: job.procs,
+            attempts: attempt,
+            lost_cpu_hours: lost,
+        });
+        self.jobs_per_site[si] += 1;
+        self.try_start_site(si, now);
+    }
+
+    fn handle_fail(&mut self, si: usize, ji: usize, attempt: u32, kind: FailureKind, now: f64) {
+        if !self.is_current(ji, si, attempt) {
+            return;
+        }
+        let (_, start) = self.states[ji]
+            .running
+            .take()
+            .expect("current attempt must be running");
+        self.schedulers[si].preempt(self.campaign.jobs[ji].id);
+        if self.telemetry.is_enabled() {
+            self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
+        }
+        self.fail_attempt(ji, si, now, kind, now - start);
+        self.try_start_site(si, now);
+    }
+
+    fn fail_attempt(
+        &mut self,
+        ji: usize,
+        si: usize,
+        now: f64,
+        kind: FailureKind,
+        elapsed_onsite: f64,
+    ) {
+        let job = &self.campaign.jobs[ji];
+        let site = &self.campaign.federation.sites[si];
+        let gross_done = elapsed_onsite * site.speed;
+        let st = &mut self.states[ji];
+        let work_before = st.remaining;
+        let saved = self
+            .policy
+            .checkpoint
+            .saved_progress(gross_done, work_before);
+        #[cfg(feature = "audit")]
+        crate::audit::check_restart_progress(job.id, saved, work_before);
+        st.remaining = work_before - saved;
+        let lost_cpu = gross_done * f64::from(job.procs);
+        st.consumed_ref_cpu_h += lost_cpu;
+        st.site_failures[si] += 1;
+        self.backlog_cpu_h[si] -= st.backlog_contrib;
+        st.backlog_contrib = 0.0;
+        let failed_attempt = st.attempt;
+        self.failures.push(FailureEvent {
+            job: job.id,
+            site: site.id,
+            attempt: failed_attempt,
+            time: now,
+            kind,
+            lost_cpu_hours: lost_cpu,
+            saved_hours: saved,
+        });
+        if self.telemetry.is_enabled() {
+            let track = &self.job_tracks[ji];
+            track.instant_at(
+                "grid.failure",
+                sim_ticks(now),
+                vec![
+                    ("kind", kind.label().to_string()),
+                    ("site", site.name.clone()),
+                    ("attempt", failed_attempt.to_string()),
+                    ("lost_cpu_hours", format!("{lost_cpu:.3}")),
+                    ("saved_hours", format!("{saved:.3}")),
+                ],
+            );
+            self.telemetry.counter("grid.failures").incr();
+            self.telemetry
+                .counter(&format!("grid.failures.{}", kind.label()))
+                .incr();
+            if saved > 0.0 {
+                track.instant_at(
+                    "grid.checkpoint_restore",
+                    sim_ticks(now),
+                    vec![("saved_hours", format!("{saved:.3}"))],
+                );
+                self.telemetry.counter("grid.checkpoint_restores").incr();
+            }
+        }
+        if failed_attempt > self.policy.retry.max_retries {
+            st.abandoned = true;
+            self.abandoned.push(job.id);
+            if self.telemetry.is_enabled() {
+                self.job_tracks[ji].instant_at("grid.abandoned", sim_ticks(now), Vec::new());
+                self.telemetry.counter("grid.abandoned").incr();
+            }
+        } else {
+            st.attempt = failed_attempt + 1;
+            self.total_retries += 1;
+            if self.telemetry.is_enabled() {
+                self.job_tracks[ji].instant_at(
+                    "grid.retry",
+                    sim_ticks(now),
+                    vec![("next_attempt", (failed_attempt + 1).to_string())],
+                );
+                self.telemetry.counter("grid.retries").incr();
+            }
+            #[cfg(feature = "audit")]
+            crate::audit::check_retry_bound(job.id, st.attempt - 1, self.policy.retry.max_retries);
+            let delay = self.policy.retry.backoff_hours(failed_attempt);
+            self.q
+                .schedule(SimTime::from_hours(now + delay), Ev::Submit(ji));
+            #[cfg(feature = "audit")]
+            {
+                self.pending_submits += 1;
+            }
+        }
+    }
+
+    fn handle_outage_start(&mut self, oi: usize, now: f64) {
+        let outage = self.campaign.outages[oi];
+        let Some(si) = self.site_index(outage.site) else {
+            return; // outage for a site outside a restricted federation
+        };
+        self.schedulers[si].set_down_until(outage.end);
+        self.q
+            .schedule(SimTime::from_hours(outage.end.max(now)), Ev::OutageEnd(si));
+        if self.telemetry.is_enabled() {
+            self.campaign_track.instant_at(
+                "grid.outage",
+                sim_ticks(now),
+                vec![("site", self.campaign.federation.sites[si].name.clone())],
+            );
+        }
+        if self.policy.outage == OutagePolicy::Kill {
+            for (job_id, _procs) in self.schedulers[si].kill_running() {
+                let ji = self.job_index(job_id);
+                let (_, start) = self.states[ji]
+                    .running
+                    .take()
+                    .expect("killed job must be tracked as running");
+                if self.telemetry.is_enabled() {
+                    self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
+                }
+                self.fail_attempt(ji, si, now, FailureKind::OutageKill, now - start);
+            }
+            for job in self.schedulers[si].evict_queued() {
+                let ji = self.job_index(job.id);
+                self.fail_attempt(ji, si, now, FailureKind::OutageKill, 0.0);
+            }
+        }
+    }
+
+    fn handle_poke(&mut self, si: usize, now: f64) {
+        self.try_start_site(si, now);
+        if self.schedulers[si].queued() > 0 {
+            if let Some((_, f)) = self.schedulers[si].next_finish().filter(|&(_, f)| f > now) {
+                self.q.schedule(SimTime::from_hours(f), Ev::Poke(si));
+            } else {
+                self.q
+                    .schedule(SimTime::from_hours(now + 1.0), Ev::Poke(si));
+            }
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    fn audit_job_conservation(&self) {
+        let queued: usize = self.schedulers.iter().map(SeedSiteScheduler::queued).sum();
+        let running = self.states.iter().filter(|s| s.running.is_some()).count();
+        let done = self.states.iter().filter(|s| s.done).count();
+        let abandoned = self.states.iter().filter(|s| s.abandoned).count();
+        let total = self.pending_submits + queued + running + done + abandoned;
+        if total != self.campaign.jobs.len() {
+            // spice-lint: allow(P001) the sanitizer's contract is to panic on a violated invariant
+            panic!(
+                "spice-audit[gridsim.job_conservation]: {} jobs but {} \
+                 accounted for ({} pending + {queued} queued + {running} \
+                 running + {done} done + {abandoned} abandoned)",
+                self.campaign.jobs.len(),
+                total,
+                self.pending_submits,
+            );
+        }
+    }
+
+    fn run(mut self) -> (ResilientResult, EngineStats) {
+        let _campaign_span = self.campaign_track.span_at("grid.campaign", 0);
+        for oi in 0..self.campaign.outages.len() {
+            let start = self.campaign.outages[oi].start.max(0.0);
+            self.q
+                .schedule(SimTime::from_hours(start), Ev::OutageStart(oi));
+        }
+        for (ji, job) in self.campaign.jobs.iter().enumerate() {
+            self.q
+                .schedule(SimTime::from_hours(job.release_hours), Ev::Submit(ji));
+            #[cfg(feature = "audit")]
+            {
+                self.pending_submits += 1;
+            }
+        }
+
+        while let Some((t, ev)) = self.q.pop() {
+            let now = t.hours();
+            self.events_processed += 1;
+            if self.telemetry.is_enabled() {
+                let ticks = sim_ticks(now);
+                self.campaign_track.tick(ticks);
+                self.des_events.incr();
+                self.telemetry.probe(ProbePoint::DesEvent, ticks, now);
+            }
+            match ev {
+                Ev::Submit(ji) => self.handle_submit(ji, now),
+                Ev::Finish { si, ji, attempt } => self.handle_finish(si, ji, attempt, now),
+                Ev::Fail {
+                    si,
+                    ji,
+                    attempt,
+                    kind,
+                } => self.handle_fail(si, ji, attempt, kind, now),
+                Ev::OutageStart(oi) => self.handle_outage_start(oi, now),
+                Ev::OutageEnd(si) | Ev::Poke(si) => self.handle_poke(si, now),
+            }
+            #[cfg(feature = "audit")]
+            self.audit_job_conservation();
+        }
+
+        assert_eq!(
+            self.records.len() + self.abandoned.len(),
+            self.campaign.jobs.len(),
+            "resilient DES lost jobs: {} completed + {} abandoned of {}",
+            self.records.len(),
+            self.abandoned.len(),
+            self.campaign.jobs.len()
+        );
+
+        let stats = EngineStats {
+            events_processed: self.events_processed,
+            event_queue_peak: self.q.peak_len(),
+            site_queue_peak: self
+                .schedulers
+                .iter()
+                .map(|s| s.peak_queued)
+                .max()
+                .unwrap_or(0),
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .set_gauge("grid.events_processed", stats.events_processed as f64);
+            self.telemetry
+                .set_gauge("grid.event_queue_peak", stats.event_queue_peak as f64);
+            self.telemetry
+                .set_gauge("grid.site_queue_peak", stats.site_queue_peak as f64);
+        }
+
+        let goodput: f64 = self
+            .states
+            .iter()
+            .zip(&self.campaign.jobs)
+            .filter(|(s, _)| s.done)
+            .map(|(_, j)| j.cpu_hours())
+            .sum();
+        let consumed: f64 = self.states.iter().map(|s| s.consumed_ref_cpu_h).sum();
+        let makespan = self
+            .records
+            .iter()
+            .map(|r| r.finished)
+            .fold(0.0f64, f64::max);
+        let cpu_hours = self.records.iter().map(JobRecord::cpu_hours).sum();
+        let result = ResilientResult {
+            result: CampaignResult {
+                records: self.records,
+                makespan_hours: makespan,
+                cpu_hours,
+                jobs_per_site: self
+                    .campaign
+                    .federation
+                    .sites
+                    .iter()
+                    .zip(&self.jobs_per_site)
+                    .map(|(s, &n)| (s.id, n))
+                    .collect(),
+            },
+            failures: self.failures,
+            abandoned: self.abandoned,
+            goodput_cpu_hours: goodput,
+            badput_cpu_hours: (consumed - goodput).max(0.0),
+            total_retries: self.total_retries,
+        };
+        (result, stats)
+    }
+}
+
+/// Execute a campaign through the frozen seed engine. Same contract as
+/// [`crate::resilience::run_resilient_with_stats`]; the two must agree
+/// bit-for-bit on every campaign, policy and dispatch combination.
+pub fn run_resilient_reference(
+    campaign: &Campaign,
+    policy: &ResiliencePolicy,
+    dispatch: DispatchPolicy,
+    telemetry: &Telemetry,
+) -> (ResilientResult, EngineStats) {
+    assert!(!campaign.jobs.is_empty(), "campaign has no jobs");
+    assert!(
+        !campaign.federation.sites.is_empty(),
+        "campaign has no sites"
+    );
+    SeedEngine::new(campaign, policy, dispatch, telemetry).run()
+}

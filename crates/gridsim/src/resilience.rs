@@ -25,17 +25,40 @@
 //! CPU-hours of completed science; badput is everything else the
 //! campaign burned (failed attempts, lost segments, checkpoint
 //! overhead). Everything is bit-deterministic under the campaign seed.
+//!
+//! The engine is built for campaigns far beyond the paper's 72 jobs:
+//! events carry dense job/site indices (no id→index scans), the per-site
+//! schedulers are heap-backed ([`SiteScheduler`]), dispatch reuses one
+//! candidate scratch buffer plus a `(procs, coupled) → fitting sites`
+//! cache instead of allocating per submit, and outage lookups go through
+//! a per-site [`OutageIndex`]. The seed engine's per-submission poke
+//! *chains* (re-poke at every finish epoch) all converge onto the same
+//! targets on a busy site, so its event count grows as
+//! O(jobs × finish-epochs); here the duplicate `(time, site)` pokes are
+//! coalesced into pending-arrival blocks drained in the seed's exact
+//! schedule order (a virtual sequence counter stands in for the seed's
+//! event-queue tie-breaker — see [`Engine::schedule_pokes`]), and a
+//! whole block of chain steps whose site state has stopped changing
+//! collapses to O(1) bookkeeping. The heap holds one marker per distinct
+//! wakeup instant instead of one event per chain hop. The pre-rework
+//! engine survives verbatim in [`crate::reference`]; equivalence tests
+//! replay campaigns through both and require bit-identical records,
+//! failure logs and summaries (the engines differ only in how many
+//! merged wakeup events they process), so every shortcut here is
+//! behaviour-preserving. See DESIGN.md §13.
 
 use crate::campaign::{Campaign, CampaignResult};
 use crate::des::DispatchPolicy;
 use crate::event::{EventQueue, SimTime};
-use crate::failure::{FailureEvent, FailureKind, FailureModel};
+use crate::failure::{FailureEvent, FailureKind, FailureModel, OutageIndex};
 use crate::hidden_ip::steering_connectivity;
 use crate::job::{JobId, JobRecord};
+use crate::resource::SiteId;
 use crate::scheduler::fcfs::SiteScheduler;
 use serde::{Deserialize, Serialize};
 use spice_stats::rng::{seed_stream, unit_f64};
 use spice_telemetry::{Counter, ProbePoint, Telemetry, Track};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Logical-clock stamp for a DES sim-time: milliseconds of simulated
 /// time. Millisecond resolution keeps distinct event times distinct
@@ -299,25 +322,46 @@ impl ResilientResult {
     }
 }
 
+/// Hot-path instrumentation of one DES replay, returned by
+/// [`run_resilient_with_stats`]: how many events the engine resolved and
+/// how deep the event queue / site queues got. Exported as `grid.*`
+/// gauges when telemetry is attached; the scale bench derives events/sec
+/// from `events_processed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EngineStats {
+    /// Events popped off the DES queue over the whole replay.
+    pub events_processed: u64,
+    /// High-water mark of the pending-event count.
+    pub event_queue_peak: usize,
+    /// Largest queued-job high-water mark across all site schedulers.
+    pub site_queue_peak: usize,
+}
+
+/// DES event payload. Dense `u32` indices keep the payload at 16 bytes
+/// and make every lookup a direct array access — no id→index scans on
+/// the per-event path.
 #[derive(Debug)]
 enum Ev {
     /// A job (first submission or retry) enters the dispatcher.
-    Submit(usize),
+    Submit(u32),
     /// Attempt `attempt` of job `ji` completes on site `si`.
-    Finish { si: usize, ji: usize, attempt: u32 },
+    Finish { si: u32, ji: u32, attempt: u32 },
     /// Attempt `attempt` of job `ji` dies mid-run on site `si`.
     Fail {
-        si: usize,
-        ji: usize,
+        si: u32,
+        ji: u32,
         attempt: u32,
         kind: FailureKind,
     },
     /// Outage `oi` (index into the campaign's outage list) begins.
-    OutageStart(usize),
+    OutageStart(u32),
     /// The site at index `si` recovers: re-attempt starts.
-    OutageEnd(usize),
-    /// Re-attempt starts at site index `si`.
-    Poke(usize),
+    OutageEnd(u32),
+    /// Wakeup *marker*: guarantees the clock reaches a pending poke
+    /// instant. The actual chain steps live in `poke_pending` (with
+    /// their site indices) and are drained in virtual-sequence order by
+    /// the run loop; the marker's own pop is a no-op.
+    Poke,
 }
 
 #[derive(Debug, Clone)]
@@ -330,14 +374,32 @@ struct JobState {
     consumed_ref_cpu_h: f64,
     /// Amount currently added to the site backlog estimate.
     backlog_contrib: f64,
-    /// Failures of this job per site index (for blacklisting).
-    site_failures: Vec<u32>,
+    /// Failures of this job per site, sparse `(site index, count)` —
+    /// most jobs never fail, so a dense per-site vector per job would
+    /// dominate memory at campaign scale.
+    site_failures: Vec<(u32, u32)>,
     /// Site index + start time of the in-flight attempt, if running.
     running: Option<(usize, f64)>,
     /// Site index of the most recent placement.
     last_site: Option<usize>,
     done: bool,
     abandoned: bool,
+}
+
+impl JobState {
+    fn failures_at(&self, si: usize) -> u32 {
+        self.site_failures
+            .iter()
+            .find(|&&(s, _)| s == si as u32)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    fn add_failure(&mut self, si: usize) {
+        match self.site_failures.iter_mut().find(|(s, _)| *s == si as u32) {
+            Some((_, n)) => *n += 1,
+            None => self.site_failures.push((si as u32, 1)),
+        }
+    }
 }
 
 /// Salt for resubmission queue-wait streams (first attempts reuse the
@@ -358,11 +420,59 @@ struct Engine<'a> {
     backlog_cpu_h: Vec<f64>,
     rr_cursor: usize,
     total_retries: u32,
-    q: EventQueue<Ev>,
+    /// Physical event heap. Payloads carry their virtual sequence stamp
+    /// (see [`Self::sched`]) so pending poke arrivals can be interleaved
+    /// with them in the seed engine's exact tie-break order.
+    q: EventQueue<(u64, Ev)>,
+    /// Virtual sequence counter: incremented once per *seed-engine
+    /// schedule call* — physical events and suppressed poke arrivals
+    /// alike — so `(time, vseq)` order over all logical events is
+    /// exactly the seed queue's `(time, seq)` pop order.
+    vseq: u64,
+    /// `(site id, site index)` sorted by id, for O(log n) outage→site
+    /// resolution (ids need not be dense under restricted federations).
+    site_by_id: Vec<(SiteId, usize)>,
+    /// Per-site outage window index for the dispatcher's status-page
+    /// reads.
+    outage_index: Vec<OutageIndex>,
+    /// Per-site: can a steering-coupled job run here at all?
+    coupled_ok: Vec<bool>,
+    /// Per-site: is a coupled job's steering connection gateway-routed
+    /// (and so exposed to gateway drops)?
+    routed_gateway: Vec<bool>,
+    /// `(procs, coupled) → fitting site indices`, ascending. Campaigns
+    /// draw from a handful of width classes, so this caches the whole
+    /// site-fit prefilter.
+    fit_cache: BTreeMap<(u32, bool), Vec<u32>>,
+    /// Reusable dispatch candidate scratch (blacklist-filtered sites).
+    cand_buf: Vec<u32>,
+    /// Reusable `(job index, finish)` scratch for scheduler starts.
+    started_buf: Vec<(u32, f64)>,
+    /// Coalesced poke-chain arrivals awaiting replay:
+    /// `(time bits, first virtual seq) → (site index, chain count)`.
+    /// Times are finite and non-negative, so the raw f64 bit pattern
+    /// orders (and equals) exactly like the value and the map's key
+    /// order is the seed's pop order. A block of `count` arrivals covers
+    /// virtual stamps `first .. first + count`. See
+    /// [`Self::schedule_pokes`].
+    poke_pending: BTreeMap<(u64, u64), (u32, u32)>,
+    /// Times (f64 bits) that already have a physical `Ev::Poke` marker
+    /// in the heap, so each distinct wakeup instant costs one event.
+    poke_marked: BTreeSet<u64>,
+    /// `(time bits, stamp)` of every physical event currently in the
+    /// heap. Lets [`Self::schedule_pokes`] prove the stamp gap between
+    /// two same-`(time, site)` blocks is free of physical events, which
+    /// is the condition for merging them — and merging is what keeps
+    /// the pending map at one block per funnel point instead of one
+    /// block per chain (the seed's quadratic chain-hop count would
+    /// otherwise sneak back in as map traffic).
+    phys_at: BTreeSet<(u64, u64)>,
+    events_processed: u64,
     telemetry: Telemetry,
     /// One `("grid.job", id)` track per campaign job, indexed like
     /// `states`; attempt spans and failure/retry/checkpoint instants land
-    /// here, stamped with [`sim_ticks`].
+    /// here, stamped with [`sim_ticks`]. Empty when telemetry is
+    /// disabled — every access is behind an `is_enabled` check.
     job_tracks: Vec<Track>,
     /// The `("grid.campaign", seed)` track: one span over the whole
     /// replay, ticked by every popped DES event.
@@ -388,13 +498,23 @@ impl<'a> Engine<'a> {
                 remaining: j.wall_hours,
                 consumed_ref_cpu_h: 0.0,
                 backlog_contrib: 0.0,
-                site_failures: vec![0; nsites],
+                site_failures: Vec::new(),
                 running: None,
                 last_site: None,
                 done: false,
                 abandoned: false,
             })
             .collect();
+        let mut site_by_id: Vec<(SiteId, usize)> = campaign
+            .federation
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(si, s)| (s.id, si))
+            .collect();
+        // Full-tuple sort so duplicate ids (a malformed federation)
+        // still resolve to the lowest index, like the linear scan did.
+        site_by_id.sort_unstable();
         Engine {
             campaign,
             policy,
@@ -414,12 +534,43 @@ impl<'a> Engine<'a> {
             rr_cursor: 0,
             total_retries: 0,
             q: EventQueue::new(),
-            telemetry: telemetry.clone(),
-            job_tracks: campaign
-                .jobs
+            vseq: 0,
+            site_by_id,
+            outage_index: campaign
+                .federation
+                .sites
                 .iter()
-                .map(|j| telemetry.track("grid.job", u64::from(j.id)))
+                .map(|s| OutageIndex::build(&campaign.outages, s.id))
                 .collect(),
+            coupled_ok: campaign
+                .federation
+                .sites
+                .iter()
+                .map(|s| steering_connectivity(s).is_ok())
+                .collect(),
+            routed_gateway: campaign
+                .federation
+                .sites
+                .iter()
+                .map(|s| matches!(steering_connectivity(s), Ok(Some(_))))
+                .collect(),
+            fit_cache: BTreeMap::new(),
+            cand_buf: Vec::new(),
+            started_buf: Vec::new(),
+            poke_pending: BTreeMap::new(),
+            poke_marked: BTreeSet::new(),
+            phys_at: BTreeSet::new(),
+            events_processed: 0,
+            telemetry: telemetry.clone(),
+            job_tracks: if telemetry.is_enabled() {
+                campaign
+                    .jobs
+                    .iter()
+                    .map(|j| telemetry.track("grid.job", u64::from(j.id)))
+                    .collect()
+            } else {
+                Vec::new()
+            },
             campaign_track: telemetry.track("grid.campaign", campaign.seed),
             des_events: telemetry.counter("grid.des_events"),
             #[cfg(feature = "audit")]
@@ -427,20 +578,22 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn job_index(&self, id: JobId) -> usize {
-        self.campaign
-            .jobs
-            .iter()
-            .position(|j| j.id == id)
-            .expect("job id unknown to the campaign")
+    /// Schedule a physical event, stamping it with the next virtual
+    /// sequence number. Every path that the seed engine's `q.schedule`
+    /// took must go through here (or [`Self::schedule_pokes`]) exactly
+    /// once, so the stamps reproduce the seed's FIFO tie-breaker.
+    fn sched(&mut self, t: f64, ev: Ev) {
+        self.vseq += 1;
+        self.phys_at.insert((t.to_bits(), self.vseq));
+        self.q.schedule(SimTime::from_hours(t), (self.vseq, ev));
     }
 
-    fn site_index(&self, id: crate::resource::SiteId) -> Option<usize> {
-        self.campaign
-            .federation
-            .sites
-            .iter()
-            .position(|s| s.id == id)
+    fn site_index(&self, id: SiteId) -> Option<usize> {
+        let k = self.site_by_id.partition_point(|&(sid, _)| sid < id);
+        self.site_by_id
+            .get(k)
+            .filter(|&&(sid, _)| sid == id)
+            .map(|&(_, si)| si)
     }
 
     /// The single stochastic queue-wait sample for `(job, site, attempt)`
@@ -469,18 +622,6 @@ impl<'a> Engine<'a> {
             / self.campaign.federation.sites[si].speed
     }
 
-    /// Hours of outage left at `si` as of `now` (the broker reads the
-    /// site status page before placing work).
-    fn outage_remaining(&self, si: usize, now: f64) -> f64 {
-        let id = self.campaign.federation.sites[si].id;
-        self.campaign
-            .outages
-            .iter()
-            .filter(|o| o.site == id && o.covers(now))
-            .map(|o| o.end - now)
-            .fold(0.0, f64::max)
-    }
-
     fn handle_submit(&mut self, ji: usize, now: f64) {
         #[cfg(feature = "audit")]
         {
@@ -488,12 +629,15 @@ impl<'a> Engine<'a> {
         }
         let job = &self.campaign.jobs[ji];
         let sites = &self.campaign.federation.sites;
-        let fitting: Vec<usize> = (0..sites.len())
-            .filter(|&si| {
-                sites[si].fits(job.procs)
-                    && (!job.coupled || steering_connectivity(&sites[si]).is_ok())
-            })
-            .collect();
+        let key = (job.procs, job.coupled);
+        if !self.fit_cache.contains_key(&key) {
+            let fitting: Vec<u32> = (0..sites.len())
+                .filter(|&si| sites[si].fits(job.procs) && (!job.coupled || self.coupled_ok[si]))
+                .map(|si| si as u32)
+                .collect();
+            self.fit_cache.insert(key, fitting);
+        }
+        let fitting = &self.fit_cache[&key];
         assert!(
             !fitting.is_empty(),
             "job {} ({} procs{}) fits nowhere in the federation",
@@ -509,25 +653,35 @@ impl<'a> Engine<'a> {
         // Retry placement: without failover the job is pinned to its
         // original site; with failover, blacklisted sites are avoided
         // (unless every option is blacklisted — then retry anywhere).
+        // Candidate lists are slices into the fit cache, a pinned-site
+        // singleton, or the reusable scratch buffer — never a fresh
+        // allocation.
         let st = &self.states[ji];
-        let candidates: Vec<usize> = if !self.policy.retry.failover {
+        let pinned: [u32; 1];
+        let candidates: &[u32] = if !self.policy.retry.failover {
             match st.last_site {
-                Some(si) => vec![si],
-                None => fitting.clone(),
+                Some(si) => {
+                    pinned = [si as u32];
+                    &pinned
+                }
+                None => fitting,
             }
         } else if self.policy.retry.blacklist_threshold > 0 {
-            let open: Vec<usize> = fitting
-                .iter()
-                .copied()
-                .filter(|&si| st.site_failures[si] < self.policy.retry.blacklist_threshold)
-                .collect();
-            if open.is_empty() {
-                fitting.clone()
+            let thr = self.policy.retry.blacklist_threshold;
+            self.cand_buf.clear();
+            self.cand_buf.extend(
+                fitting
+                    .iter()
+                    .copied()
+                    .filter(|&si| st.failures_at(si as usize) < thr),
+            );
+            if self.cand_buf.is_empty() {
+                fitting
             } else {
-                open
+                &self.cand_buf
             }
         } else {
-            fitting.clone()
+            fitting
         };
 
         let attempt = st.attempt;
@@ -536,11 +690,12 @@ impl<'a> Engine<'a> {
                 // Myopic: cheapest estimated completion among candidate
                 // sites, using current backlog and known outage state.
                 let mut best: Option<(usize, f64)> = None;
-                for &si in &candidates {
+                for &si in candidates {
+                    let si = si as usize;
                     let est = self.wait_sample(ji, si, attempt)
                         + self.backlog_cpu_h[si] / f64::from(sites[si].procs)
                         + self.runtime_on(ji, si)
-                        + self.outage_remaining(si, now);
+                        + self.outage_index[si].remaining(now);
                     if best.is_none_or(|(_, b)| est < b) {
                         best = Some((si, est));
                     }
@@ -550,7 +705,7 @@ impl<'a> Engine<'a> {
             DispatchPolicy::RoundRobin => {
                 let si = candidates[self.rr_cursor % candidates.len()];
                 self.rr_cursor += 1;
-                si
+                si as usize
             }
             DispatchPolicy::Random => {
                 let index = if attempt == 1 {
@@ -559,7 +714,7 @@ impl<'a> Engine<'a> {
                     ji as u64 | u64::from(attempt) << 32
                 };
                 let u = seed_stream(self.campaign.seed ^ 0x5EED, index);
-                candidates[(u % candidates.len() as u64) as usize]
+                candidates[(u % candidates.len() as u64) as usize] as usize
             }
         };
 
@@ -573,9 +728,8 @@ impl<'a> Engine<'a> {
         st.backlog_contrib = contrib;
         st.last_site = Some(si);
         self.backlog_cpu_h[si] += contrib;
-        self.schedulers[si].submit(job.clone(), now + queue_wait);
-        self.q
-            .schedule(SimTime::from_hours(now + queue_wait), Ev::Poke(si));
+        self.schedulers[si].submit(ji as u32, job.procs, now + queue_wait);
+        self.schedule_pokes(si, now + queue_wait, 1);
     }
 
     /// Start every queued job that fits at `si`, sampling launch
@@ -586,17 +740,27 @@ impl<'a> Engine<'a> {
         let site = &campaign.federation.sites[si];
         let speed = site.speed;
         let policy = self.policy;
-        let states = &self.states;
-        let started = self.schedulers[si].try_start(now, |j| {
-            let ji = campaign
-                .jobs
-                .iter()
-                .position(|cj| cj.id == j.id)
-                .expect("queued job id unknown to the campaign");
-            policy.checkpoint.gross_hours(states[ji].remaining) / speed
-        });
-        for (job, finish) in started {
-            let ji = self.job_index(job.id);
+        // The scheduler's job ids *are* campaign indices, so the runtime
+        // closure and everything below is a direct array access. The
+        // started list lives in a scratch buffer reused across the whole
+        // campaign (taken out of `self` so the loop can re-borrow).
+        let mut started = std::mem::take(&mut self.started_buf);
+        {
+            let states = &self.states;
+            self.schedulers[si].try_start(
+                now,
+                |jid| {
+                    policy
+                        .checkpoint
+                        .gross_hours(states[jid as usize].remaining)
+                        / speed
+                },
+                &mut started,
+            );
+        }
+        for &(jid, finish) in &started {
+            let ji = jid as usize;
+            let job = &campaign.jobs[ji];
             #[cfg(feature = "audit")]
             crate::audit::check_single_site(
                 job.id,
@@ -612,7 +776,7 @@ impl<'a> Engine<'a> {
             {
                 // The launch itself failed: processors are never held,
                 // no compute time is lost.
-                self.schedulers[si].preempt(job.id);
+                self.schedulers[si].preempt(jid);
                 self.fail_attempt(ji, si, now, FailureKind::LaunchFailure, 0.0);
                 continue;
             }
@@ -623,6 +787,7 @@ impl<'a> Engine<'a> {
                     "grid.start",
                     sim_ticks(now),
                     vec![
+                        // spice-lint: allow(P002) label built only on the traced path, never the untraced hot loop
                         ("site", site.name.clone()),
                         ("attempt", attempt.to_string()),
                     ],
@@ -631,8 +796,7 @@ impl<'a> Engine<'a> {
             let crash = policy
                 .failures
                 .crash_after(campaign.seed, job.id, attempt, site.id);
-            let routed_gateway = job.coupled && matches!(steering_connectivity(site), Ok(Some(_)));
-            let drop = if routed_gateway {
+            let drop = if job.coupled && self.routed_gateway[si] {
                 policy
                     .failures
                     .gateway_drop_after(campaign.seed, job.id, attempt, site.id)
@@ -645,20 +809,27 @@ impl<'a> Engine<'a> {
                 (drop, FailureKind::GatewayDrop)
             };
             if now + t_fail < finish {
-                self.q.schedule(
-                    SimTime::from_hours(now + t_fail),
+                self.sched(
+                    now + t_fail,
                     Ev::Fail {
-                        si,
-                        ji,
+                        si: si as u32,
+                        ji: jid,
                         attempt,
                         kind,
                     },
                 );
             } else {
-                self.q
-                    .schedule(SimTime::from_hours(finish), Ev::Finish { si, ji, attempt });
+                self.sched(
+                    finish,
+                    Ev::Finish {
+                        si: si as u32,
+                        ji: jid,
+                        attempt,
+                    },
+                );
             }
         }
+        self.started_buf = started;
     }
 
     /// Is this (site, attempt) event about the job's current in-flight
@@ -681,7 +852,7 @@ impl<'a> Engine<'a> {
             .running
             .take()
             .expect("current attempt must be running");
-        self.schedulers[si].finish(job.id);
+        self.schedulers[si].finish(ji as u32);
         if self.telemetry.is_enabled() {
             self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
             self.job_tracks[ji].instant_at(
@@ -724,7 +895,7 @@ impl<'a> Engine<'a> {
             .running
             .take()
             .expect("current attempt must be running");
-        self.schedulers[si].preempt(self.campaign.jobs[ji].id);
+        self.schedulers[si].preempt(ji as u32);
         if self.telemetry.is_enabled() {
             self.job_tracks[ji].exit_at("grid.attempt", sim_ticks(now));
         }
@@ -758,7 +929,7 @@ impl<'a> Engine<'a> {
         st.remaining = work_before - saved;
         let lost_cpu = gross_done * f64::from(job.procs);
         st.consumed_ref_cpu_h += lost_cpu;
-        st.site_failures[si] += 1;
+        st.add_failure(si);
         self.backlog_cpu_h[si] -= st.backlog_contrib;
         st.backlog_contrib = 0.0;
         let failed_attempt = st.attempt;
@@ -820,8 +991,7 @@ impl<'a> Engine<'a> {
             #[cfg(feature = "audit")]
             crate::audit::check_retry_bound(job.id, st.attempt - 1, self.policy.retry.max_retries);
             let delay = self.policy.retry.backoff_hours(failed_attempt);
-            self.q
-                .schedule(SimTime::from_hours(now + delay), Ev::Submit(ji));
+            self.sched(now + delay, Ev::Submit(ji as u32));
             #[cfg(feature = "audit")]
             {
                 self.pending_submits += 1;
@@ -835,8 +1005,7 @@ impl<'a> Engine<'a> {
             return; // outage for a site outside a restricted federation
         };
         self.schedulers[si].set_down_until(outage.end);
-        self.q
-            .schedule(SimTime::from_hours(outage.end.max(now)), Ev::OutageEnd(si));
+        self.sched(outage.end.max(now), Ev::OutageEnd(si as u32));
         if self.telemetry.is_enabled() {
             self.campaign_track.instant_at(
                 "grid.outage",
@@ -845,8 +1014,9 @@ impl<'a> Engine<'a> {
             );
         }
         if self.policy.outage == OutagePolicy::Kill {
-            for (job_id, _procs) in self.schedulers[si].kill_running() {
-                let ji = self.job_index(job_id);
+            // Scheduler ids are campaign indices: no reverse lookup needed.
+            for (jid, _procs) in self.schedulers[si].kill_running() {
+                let ji = jid as usize;
                 let (_, start) = self.states[ji]
                     .running
                     .take()
@@ -856,24 +1026,135 @@ impl<'a> Engine<'a> {
                 }
                 self.fail_attempt(ji, si, now, FailureKind::OutageKill, now - start);
             }
-            for job in self.schedulers[si].evict_queued() {
-                let ji = self.job_index(job.id);
-                self.fail_attempt(ji, si, now, FailureKind::OutageKill, 0.0);
+            for jid in self.schedulers[si].evict_queued() {
+                self.fail_attempt(jid as usize, si, now, FailureKind::OutageKill, 0.0);
             }
         }
     }
 
-    fn handle_poke(&mut self, si: usize, now: f64) {
-        self.try_start_site(si, now);
-        // Keep a poke chain alive while work is queued: at the next
-        // finish when something runs, else hourly (site likely down).
-        if self.schedulers[si].queued() > 0 {
-            if let Some((_, f)) = self.schedulers[si].next_finish().filter(|&(_, f)| f > now) {
-                self.q.schedule(SimTime::from_hours(f), Ev::Poke(si));
-            } else {
-                self.q
-                    .schedule(SimTime::from_hours(now + 1.0), Ev::Poke(si));
+    /// Register `n` poke-chain arrivals at `(t, si)` without putting `n`
+    /// events on the heap.
+    ///
+    /// The seed engine keeps one poke chain alive per submission, and on
+    /// a saturated site every chain converges onto the same next target
+    /// (the site's next finish, else the chain's next hourly tick), so
+    /// its queue fills with events identical in `(time, site)` — that
+    /// multiplicity is where the O(jobs × finish-epochs) event blow-up
+    /// lives. Here each arrival only bumps the virtual sequence counter
+    /// and lands in `poke_pending`; a physical `Ev::Poke` marker is
+    /// scheduled once per distinct time, carrying the first arrival's
+    /// stamp, purely so the clock is guaranteed to reach that instant.
+    /// The run loop drains pending arrivals in global `(time, vseq)`
+    /// order interleaved with the physical events' own stamps — the
+    /// seed's exact pop order, including ties between chain pokes and
+    /// same-time finish/fail/submit events (integer-anchored outage and
+    /// release times make such exact f64 ties real). See DESIGN.md §13.
+    fn schedule_pokes(&mut self, si: usize, t: f64, n: u32) {
+        debug_assert!(n > 0);
+        let first = self.vseq + 1;
+        self.vseq += u64::from(n);
+        // Merge into the immediately preceding block at the same (time,
+        // site) when no physical event's stamp sits in the gap between
+        // the two stamp ranges: with nothing to interleave, the seed
+        // would pop the two runs back to back, so one block replays them
+        // identically. Without this, every chain funnelling onto a
+        // saturated site's next finish keeps its own block and the drain
+        // walks O(chain-hops) map entries — the seed's quadratic
+        // multiplicity smuggled back in as map traffic.
+        let pred = self
+            .poke_pending
+            .range(..(t.to_bits(), first))
+            .next_back()
+            .map(|(&k, &v)| (k, v));
+        if let Some(((p_t, p_first), (p_si, p_count))) = pred {
+            if p_t == t.to_bits()
+                && p_si == si as u32
+                && self
+                    .phys_at
+                    .range((p_t, p_first + u64::from(p_count))..(p_t, first))
+                    .next()
+                    .is_none()
+            {
+                self.poke_pending
+                    .get_mut(&(p_t, p_first))
+                    .expect("predecessor block just read")
+                    .1 += n;
+                return;
             }
+        }
+        self.poke_pending
+            .insert((t.to_bits(), first), (si as u32, n));
+        if self.poke_marked.insert(t.to_bits()) {
+            self.phys_at.insert((t.to_bits(), first));
+            self.q.schedule(SimTime::from_hours(t), (first, Ev::Poke));
+        }
+    }
+
+    /// Replay `count` consecutive chain steps at `(si, now)`, verbatim
+    /// seed semantics per step: attempt starts, then keep the chain
+    /// alive while work is queued — re-poke at the next finish when
+    /// something runs, else hourly. Once a step starts nothing, the site
+    /// state is a fixed point: every remaining step would make the same
+    /// queued/target decision, so they collapse into one bulk
+    /// re-registration — that O(1) collapse is what keeps total work
+    /// near-linear even though the seed's chain-step count is quadratic.
+    fn replay_pokes(&mut self, si: usize, now: f64, count: u32) {
+        let mut left = count;
+        while left > 0 {
+            left -= 1;
+            self.try_start_site(si, now);
+            let stable = self.started_buf.is_empty();
+            let steps = if stable { left + 1 } else { 1 };
+            if self.schedulers[si].queued() > 0 {
+                match self.schedulers[si].next_finish().filter(|&(_, f)| f > now) {
+                    Some((_, f)) => self.schedule_pokes(si, f, steps),
+                    None => self.schedule_pokes(si, now + 1.0, steps),
+                }
+            }
+            if stable {
+                break;
+            }
+        }
+    }
+
+    /// Replay every pending poke arrival that the seed engine would pop
+    /// before the next physical event, in the seed's exact order.
+    ///
+    /// Pending blocks are stamp-ranges; physical events carry single
+    /// stamps allocated outside every range, so `(time, stamp)` order
+    /// totally orders all logical events exactly like the seed queue's
+    /// `(time, seq)` tie-breaker. A block whose range straddles a
+    /// same-time physical event's stamp is split at that stamp: the
+    /// seed would interleave that event (it may re-submit to the site,
+    /// un-fixing the chain's fixed point), so only the prefix replays
+    /// now and the remainder re-enters the map to run after it.
+    fn drain_due_pokes(&mut self) {
+        loop {
+            let Some((&(t_bits, first), &(si, count))) = self.poke_pending.first_key_value() else {
+                return;
+            };
+            let budget = match self.q.peek() {
+                None => count,
+                Some((nt, &(nv, _))) => {
+                    let nt_bits = nt.hours().to_bits();
+                    if (t_bits, first) >= (nt_bits, nv) {
+                        return; // the physical event precedes every pending poke
+                    }
+                    if nt_bits == t_bits {
+                        count.min(u32::try_from(nv - first).unwrap_or(u32::MAX))
+                    } else {
+                        count
+                    }
+                }
+            };
+            self.poke_pending.pop_first();
+            if budget < count {
+                self.poke_pending
+                    .insert((t_bits, first + u64::from(budget)), (si, count - budget));
+            }
+            self.replay_pokes(si as usize, f64::from_bits(t_bits), budget);
+            #[cfg(feature = "audit")]
+            self.audit_job_conservation();
         }
     }
 
@@ -900,26 +1181,30 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> ResilientResult {
+    fn run(mut self) -> (ResilientResult, EngineStats) {
         let _campaign_span = self.campaign_track.span_at("grid.campaign", 0);
         // Outage starts are scheduled before submissions so a site that
         // is down at t=0 is already down when the first dispatch runs.
         for oi in 0..self.campaign.outages.len() {
             let start = self.campaign.outages[oi].start.max(0.0);
-            self.q
-                .schedule(SimTime::from_hours(start), Ev::OutageStart(oi));
+            self.sched(start, Ev::OutageStart(oi as u32));
         }
-        for (ji, job) in self.campaign.jobs.iter().enumerate() {
-            self.q
-                .schedule(SimTime::from_hours(job.release_hours), Ev::Submit(ji));
+        for ji in 0..self.campaign.jobs.len() {
+            self.sched(self.campaign.jobs[ji].release_hours, Ev::Submit(ji as u32));
             #[cfg(feature = "audit")]
             {
                 self.pending_submits += 1;
             }
         }
 
-        while let Some((t, ev)) = self.q.pop() {
+        loop {
+            self.drain_due_pokes();
+            let Some((t, (stamp, ev))) = self.q.pop() else {
+                break;
+            };
             let now = t.hours();
+            self.phys_at.remove(&(now.to_bits(), stamp));
+            self.events_processed += 1;
             if self.telemetry.is_enabled() {
                 let ticks = sim_ticks(now);
                 self.campaign_track.tick(ticks);
@@ -927,20 +1212,32 @@ impl<'a> Engine<'a> {
                 self.telemetry.probe(ProbePoint::DesEvent, ticks, now);
             }
             match ev {
-                Ev::Submit(ji) => self.handle_submit(ji, now),
-                Ev::Finish { si, ji, attempt } => self.handle_finish(si, ji, attempt, now),
+                Ev::Submit(ji) => self.handle_submit(ji as usize, now),
+                Ev::Finish { si, ji, attempt } => {
+                    self.handle_finish(si as usize, ji as usize, attempt, now);
+                }
                 Ev::Fail {
                     si,
                     ji,
                     attempt,
                     kind,
-                } => self.handle_fail(si, ji, attempt, kind, now),
-                Ev::OutageStart(oi) => self.handle_outage_start(oi, now),
-                Ev::OutageEnd(si) | Ev::Poke(si) => self.handle_poke(si, now),
+                } => self.handle_fail(si as usize, ji as usize, attempt, kind, now),
+                Ev::OutageStart(oi) => self.handle_outage_start(oi as usize, now),
+                Ev::OutageEnd(si) => self.replay_pokes(si as usize, now, 1),
+                Ev::Poke => {
+                    // Wakeup marker: its chain steps drain from
+                    // `poke_pending` in stamp order around it; the pop
+                    // itself only releases the one-marker-per-time slot.
+                    self.poke_marked.remove(&now.to_bits());
+                }
             }
             #[cfg(feature = "audit")]
             self.audit_job_conservation();
         }
+        debug_assert!(
+            self.poke_pending.is_empty(),
+            "pending pokes must all drain before the campaign ends"
+        );
 
         assert_eq!(
             self.records.len() + self.abandoned.len(),
@@ -950,6 +1247,25 @@ impl<'a> Engine<'a> {
             self.abandoned.len(),
             self.campaign.jobs.len()
         );
+
+        let stats = EngineStats {
+            events_processed: self.events_processed,
+            event_queue_peak: self.q.peak_len(),
+            site_queue_peak: self
+                .schedulers
+                .iter()
+                .map(SiteScheduler::peak_queued)
+                .max()
+                .unwrap_or(0),
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .set_gauge("grid.events_processed", stats.events_processed as f64);
+            self.telemetry
+                .set_gauge("grid.event_queue_peak", stats.event_queue_peak as f64);
+            self.telemetry
+                .set_gauge("grid.site_queue_peak", stats.site_queue_peak as f64);
+        }
 
         let goodput: f64 = self
             .states
@@ -965,7 +1281,7 @@ impl<'a> Engine<'a> {
             .map(|r| r.finished)
             .fold(0.0f64, f64::max);
         let cpu_hours = self.records.iter().map(JobRecord::cpu_hours).sum();
-        ResilientResult {
+        let result = ResilientResult {
             result: CampaignResult {
                 records: self.records,
                 makespan_hours: makespan,
@@ -984,7 +1300,8 @@ impl<'a> Engine<'a> {
             goodput_cpu_hours: goodput,
             badput_cpu_hours: (consumed - goodput).max(0.0),
             total_retries: self.total_retries,
-        }
+        };
+        (result, stats)
     }
 }
 
@@ -1033,6 +1350,19 @@ pub fn run_resilient_with_dispatch_traced(
     dispatch: DispatchPolicy,
     telemetry: &Telemetry,
 ) -> ResilientResult {
+    run_resilient_with_stats(campaign, policy, dispatch, telemetry).0
+}
+
+/// [`run_resilient_with_dispatch_traced`] returning the replay *and* the
+/// engine's own scale counters ([`EngineStats`]): events processed, the
+/// global event-queue high-water mark and the deepest per-site batch
+/// queue. The replay itself is bit-identical to every other entry point.
+pub fn run_resilient_with_stats(
+    campaign: &Campaign,
+    policy: &ResiliencePolicy,
+    dispatch: DispatchPolicy,
+    telemetry: &Telemetry,
+) -> (ResilientResult, EngineStats) {
     assert!(!campaign.jobs.is_empty(), "campaign has no jobs");
     assert!(
         !campaign.federation.sites.is_empty(),

@@ -115,6 +115,7 @@ pub fn failure_listing_traced(
             vec![
                 ("job", f.job.to_string()),
                 ("attempt", f.attempt.to_string()),
+                // spice-lint: allow(P002) report path: one pass over a finished result, not the DES hot loop
                 ("site", federation.site(f.site).name.clone()),
                 ("kind", f.kind.label().to_string()),
                 ("lost_cpu_hours", format!("{:.3}", f.lost_cpu_hours)),

@@ -44,6 +44,12 @@ pub const RULES: &[RuleInfo] = &[
                   annotation; use expect with an invariant message or return Result",
     },
     RuleInfo {
+        id: "P002",
+        summary: "allocation or linear scan inside a gridsim loop body \
+                  (.clone() / .iter().position(..)): the DES hot path must stay \
+                  allocation-free and O(log n) — hoist, borrow, or maintain an index",
+    },
+    RuleInfo {
         id: "T001",
         summary: "println!/eprintln! (or print!/eprint!) in non-test library code: \
                   route output through return values or the telemetry layer; \
@@ -144,6 +150,83 @@ pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
     mask
 }
 
+/// Mark every token inside the braces of a `loop`/`while`/`for` body.
+/// `for` is only a loop when an `in` appears at bracket depth 0 between
+/// the keyword and the body brace — that distinguishes `for x in xs {`
+/// from `impl Trait for Type {` and from `for<'a>` bounds. Rule P002
+/// keys on this mask: an allocation is hot exactly when a loop repeats
+/// it.
+pub fn loop_body_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let body_open = match tok.text.as_str() {
+            "loop" | "while" => find_body_brace(tokens, i + 1, false),
+            "for" => find_body_brace(tokens, i + 1, true),
+            _ => None,
+        };
+        if let Some(open) = body_open {
+            if let Some(close) = matching_brace(tokens, open) {
+                for m in mask.iter_mut().take(close).skip(open + 1) {
+                    *m = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Scan from `j` for the loop-body `{` at paren/bracket/brace depth 0.
+/// With `require_in`, an `in` ident must appear at depth 0 first (the
+/// `for`-loop discriminator). Bails at a depth-0 `;` or `}` — whatever
+/// construct this was, it had no loop body.
+fn find_body_brace(tokens: &[Token], j: usize, require_in: bool) -> Option<usize> {
+    let mut saw_in = false;
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    let mut brace = 0usize;
+    let limit = (j + 512).min(tokens.len());
+    for (k, tok) in tokens.iter().enumerate().take(limit).skip(j) {
+        let at_depth0 = paren == 0 && bracket == 0 && brace == 0;
+        match tok.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren = paren.checked_sub(1)?,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket = bracket.checked_sub(1)?,
+            TokKind::Punct('{') if at_depth0 => {
+                return (!require_in || saw_in).then_some(k);
+            }
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') if at_depth0 => return None,
+            TokKind::Punct('}') => brace -= 1,
+            TokKind::Punct(';') if at_depth0 => return None,
+            TokKind::Ident if at_depth0 && tok.text == "in" => saw_in = true,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Match `# [ cfg ( test ) ]` starting at `i`; return the index after
 /// the closing `]`.
 fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
@@ -236,6 +319,12 @@ fn find_mod_braces(tokens: &[Token], mut i: usize) -> Option<(usize, usize)> {
 pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
     let tokens = &lexed.tokens;
     let mask = test_mask(tokens);
+    let in_gridsim = ctx.crate_dir.as_deref() == Some("gridsim");
+    let loop_mask = if in_gridsim {
+        loop_body_mask(tokens)
+    } else {
+        Vec::new()
+    };
     let mut out = Vec::new();
     // Token indices consumed by an N001 match, so the same `unwrap`
     // does not also fire P001 (one defect, one diagnostic).
@@ -325,6 +414,35 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
                         });
                     }
                 }
+                // P002 — allocations / linear scans repeated by a loop in
+                // the gridsim DES (the paths the scale work de-quadratified).
+                if !in_test && in_gridsim && loop_mask.get(i).copied().unwrap_or(false) {
+                    if name == "clone"
+                        && prev_is(tokens, i, TokKind::Punct('.'))
+                        && next_is(tokens, i, TokKind::Punct('('))
+                    {
+                        out.push(RawDiagnostic {
+                            rule: "P002",
+                            line: tok.line,
+                            col: tok.col,
+                            message: "`.clone()` inside a gridsim loop body: the DES hot \
+                                      path must stay allocation-free — hoist the clone out \
+                                      of the loop, borrow, or carry an index"
+                                .into(),
+                        });
+                    }
+                    if name == "iter" && is_iter_position_chain(tokens, i) {
+                        out.push(RawDiagnostic {
+                            rule: "P002",
+                            line: tok.line,
+                            col: tok.col,
+                            message: "`.iter().position(..)` inside a gridsim loop body: \
+                                      an O(n) scan per iteration makes the event loop \
+                                      quadratic — maintain an index map instead"
+                                .into(),
+                        });
+                    }
+                }
                 // T001 — stray stdout/stderr prints in non-test code.
                 // Intentional CLI entry points and report paths carry an
                 // allow annotation or a baseline entry.
@@ -379,6 +497,22 @@ fn is_path_call(tokens: &[Token], i: usize, name: &str) -> bool {
             .get(i + 2)
             .is_some_and(|t| t.kind == TokKind::Punct(':'))
         && tokens.get(i + 3).is_some_and(|t| t.text == name)
+}
+
+/// Match `. iter ( ) . position (` with `i` at the `iter` ident.
+fn is_iter_position_chain(tokens: &[Token], i: usize) -> bool {
+    prev_is(tokens, i, TokKind::Punct('.'))
+        && next_is(tokens, i, TokKind::Punct('('))
+        && tokens
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokKind::Punct(')'))
+        && tokens
+            .get(i + 3)
+            .is_some_and(|t| t.kind == TokKind::Punct('.'))
+        && tokens.get(i + 4).is_some_and(|t| t.text == "position")
+        && tokens
+            .get(i + 5)
+            .is_some_and(|t| t.kind == TokKind::Punct('('))
 }
 
 fn prev_is(tokens: &[Token], i: usize, kind: TokKind) -> bool {
@@ -560,6 +694,57 @@ mod tests {
         );
         // A `println` ident without the macro bang is something else.
         assert!(run("crates/md/src/x.rs", "let println = 3; println == 4;").is_empty());
+    }
+
+    #[test]
+    fn p002_clone_and_position_in_gridsim_loops_only() {
+        let in_loop = "for ev in events { let j = jobs.iter().position(|x| x.id == ev); }";
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/x.rs", in_loop)),
+            ["P002"]
+        );
+        let clone_loop = "while let Some(e) = q.pop() { let name = site.name.clone(); }";
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/x.rs", clone_loop)),
+            ["P002"]
+        );
+        assert_eq!(
+            rules_fired(&run(
+                "crates/gridsim/src/x.rs",
+                "loop { let c = v.clone(); break; }"
+            )),
+            ["P002"]
+        );
+        // Outside a loop body, in other crates, and in tests: no rule.
+        assert!(run("crates/gridsim/src/x.rs", "let c = v.clone();").is_empty());
+        assert!(run("crates/md/src/x.rs", clone_loop).is_empty());
+        assert!(run("crates/gridsim/tests/t.rs", clone_loop).is_empty());
+        // `iter_mut().position` or a bare `position` is not the chain.
+        assert!(run(
+            "crates/gridsim/src/x.rs",
+            "for e in v { let p = w.position(f); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn p002_for_loop_discriminated_from_impl_for() {
+        // `impl Trait for Type { .. }` bodies are not loop bodies.
+        let impl_block = "impl Clone for Thing { fn clone(&self) -> Thing { self.inner.clone() } }";
+        assert!(run("crates/gridsim/src/x.rs", impl_block).is_empty());
+        // ...but a real for-loop inside an impl method still fires.
+        let loop_in_impl =
+            "impl Thing { fn go(&self) { for x in &self.v { let c = x.clone(); } } }";
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/x.rs", loop_in_impl)),
+            ["P002"]
+        );
+        // Closures in the condition do not confuse the body finder.
+        let cond_closure = "while xs.iter().any(|x| { x.live }) { let c = n.clone(); }";
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/x.rs", cond_closure)),
+            ["P002"]
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub trait ExternalPotential: Send + Sync {
 
     /// Add forces for all particles; returns total energy. The default
     /// implementation parallelizes over particles above 4096 atoms.
+    ///
+    /// The parallel path computes a fixed partial energy per chunk and
+    /// reduces the partials serially in chunk order, so the float sum
+    /// associates identically no matter how work was scheduled (the
+    /// same deterministic-reduction idiom as the nonbonded kernel).
     fn add_forces(&self, positions: &[Vec3], species: &[SpeciesId], forces: &mut [Vec3]) -> f64 {
         if positions.len() < 4096 {
             let mut e = 0.0;
@@ -35,15 +40,23 @@ pub trait ExternalPotential: Send + Sync {
             }
             e
         } else {
-            forces
-                .par_iter_mut()
+            const CHUNK: usize = 1024;
+            let partials: Vec<f64> = forces
+                .par_chunks_mut(CHUNK)
                 .enumerate()
-                .map(|(i, f)| {
-                    let (ei, fi) = self.energy_force(positions[i], species[i]);
-                    *f += fi;
-                    ei
+                .map(|(c, chunk)| {
+                    let base = c * CHUNK;
+                    let mut e = 0.0;
+                    for (k, f) in chunk.iter_mut().enumerate() {
+                        let i = base + k;
+                        let (ei, fi) = self.energy_force(positions[i], species[i]);
+                        e += ei;
+                        *f += fi;
+                    }
+                    e
                 })
-                .sum()
+                .collect();
+            partials.iter().sum()
         }
     }
 }

@@ -1,0 +1,598 @@
+//! Workspace semantic layer: fn definitions, call sites, and a
+//! deterministic cross-crate call graph with entropy-taint propagation.
+//!
+//! The per-file rules can prove a fn *directly* touches ambient entropy
+//! (D002); they cannot see that a "clean" public fn calls one that does.
+//! This module extracts every fn definition (via the scope tree) and
+//! every call site (free calls, `path::calls`, unambiguous method
+//! calls), resolves names deterministically (same module beats same
+//! crate beats workspace-wide; adjacency is sorted), and propagates
+//! entropy taint backwards from `thread_rng`/`from_entropy`/
+//! `Instant::now`/`SystemTime` sites through the graph — cycle-tolerant
+//! BFS, shortest chain retained. Rule E001 fires at the public boundary
+//! with the full propagation chain in the diagnostic.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::parser::{ScopeKind, ScopeTree};
+use crate::rules::{FileContext, RawDiagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One fn definition somewhere in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Qualified path: crate dir + inline modules + name
+    /// (`smd::ensemble::run_ensemble`). Root-package files use `root`.
+    pub qual: String,
+    /// Bare fn name.
+    pub name: String,
+    /// Crate directory under `crates/` (`None` for root-package files).
+    pub crate_dir: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line of the fn name.
+    pub line: u32,
+    /// 1-indexed column of the fn name.
+    pub col: u32,
+    /// Unrestricted `pub`.
+    pub is_pub: bool,
+    /// Test context: test tree file or `#[cfg(test)]`-gated scope.
+    pub in_test: bool,
+    /// Lives in an entropy-exempt crate (bench/telemetry).
+    pub entropy_exempt: bool,
+    /// Direct ambient-entropy use in the body: `(token, line)`.
+    pub entropy: Option<(String, u32)>,
+}
+
+/// A call site before resolution.
+#[derive(Debug)]
+struct CallRef {
+    /// Caller fn index (into the per-build def list).
+    caller: usize,
+    /// Path segments before the name (empty for bare calls/methods).
+    segments: Vec<String>,
+    /// Callee name.
+    name: String,
+    /// True for `.name(…)` method syntax.
+    is_method: bool,
+}
+
+/// The resolved, deterministic workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All fn definitions, sorted by (file, line, col); the index is the
+    /// fn id used everywhere else.
+    pub fns: Vec<FnDef>,
+    /// Sorted, deduplicated callee ids per caller.
+    pub callees: Vec<Vec<usize>>,
+    /// Sorted, deduplicated caller ids per callee (reverse edges).
+    pub callers: Vec<Vec<usize>>,
+}
+
+/// Taint state for one fn: how far from a direct entropy site, and the
+/// next hop toward it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taint {
+    /// 0 for direct entropy use; +1 per call edge.
+    pub dist: u32,
+    /// Next fn id on the shortest chain toward the source (`None` at
+    /// the direct site).
+    pub via: Option<usize>,
+}
+
+/// Ambient-entropy idents the taint seeds on (mirrors rule D002).
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "SystemTime"];
+
+/// Keywords that look like `ident (` but are never calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "in", "move", "mut", "ref", "as",
+    "use", "pub", "fn", "impl", "where", "unsafe", "async", "await", "dyn", "break", "continue",
+    "else", "struct", "enum", "trait", "type", "mod", "const", "static", "crate", "super",
+];
+
+/// Map a workspace-relative path to (crate dir, file module path).
+/// `crates/md/src/forces/nonbonded.rs` → (`Some("md")`,
+/// `["forces", "nonbonded"]`); `lib.rs`/`main.rs`/`mod.rs` contribute no
+/// segment of their own.
+fn file_module_path(rel_path: &str) -> (Option<String>, Vec<String>) {
+    let comps: Vec<&str> = rel_path.split('/').collect();
+    let (crate_dir, rest): (Option<String>, &[&str]) = match comps.as_slice() {
+        ["crates", name, "src", rest @ ..] => (Some((*name).to_string()), rest),
+        ["crates", name, rest @ ..] => (Some((*name).to_string()), rest),
+        ["src", rest @ ..] => (None, rest),
+        rest => (None, rest),
+    };
+    let mut mods = Vec::new();
+    for (k, c) in rest.iter().enumerate() {
+        let last = k + 1 == rest.len();
+        if last {
+            let stem = c.strip_suffix(".rs").unwrap_or(c);
+            if !matches!(stem, "lib" | "main" | "mod") {
+                mods.push(stem.to_string());
+            }
+        } else {
+            mods.push((*c).to_string());
+        }
+    }
+    (crate_dir, mods)
+}
+
+/// Normalize a call-path segment: external crate names like `spice_md`
+/// refer to the workspace crate dir `md`.
+fn normalize_segment(seg: &str) -> &str {
+    seg.strip_prefix("spice_").unwrap_or(seg)
+}
+
+/// True when `tokens[i]` (`Instant`) is followed by `:: now`.
+fn is_instant_now(tokens: &[Token], i: usize) -> bool {
+    tokens[i].text == "Instant"
+        && tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct(':'))
+        && tokens
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokKind::Punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.text == "now")
+}
+
+impl CallGraph {
+    /// Build the graph from `(rel_path, lexed)` pairs. Callers should
+    /// pass files sorted by path; definitions get ids in (file, token)
+    /// order either way.
+    pub fn build(files: &[(String, &Lexed)]) -> CallGraph {
+        let mut fns: Vec<FnDef> = Vec::new();
+        let mut calls: Vec<CallRef> = Vec::new();
+
+        let mut sorted: Vec<&(String, &Lexed)> = files.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+
+        for (rel, lexed) in sorted {
+            extract_file(rel, lexed, &mut fns, &mut calls);
+        }
+
+        // Name → sorted candidate ids.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(id);
+        }
+
+        let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); fns.len()];
+        for call in &calls {
+            for id in resolve(&fns, &by_name, call) {
+                if id != call.caller {
+                    callees[call.caller].insert(id);
+                }
+            }
+        }
+        let callees: Vec<Vec<usize>> = callees
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (caller, cs) in callees.iter().enumerate() {
+            for &callee in cs {
+                callers[callee].push(caller);
+            }
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+        CallGraph {
+            fns,
+            callees,
+            callers,
+        }
+    }
+
+    /// Propagate entropy taint backwards from direct sites. BFS over the
+    /// reverse edges in sorted order — cycle-tolerant, shortest chain
+    /// kept, fully deterministic.
+    pub fn entropy_taint(&self) -> Vec<Option<Taint>> {
+        let mut taint: Vec<Option<Taint>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for (id, f) in self.fns.iter().enumerate() {
+            if f.entropy.is_some() && !f.in_test && !f.entropy_exempt {
+                taint[id] = Some(Taint { dist: 0, via: None });
+                queue.push_back(id);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            let dist = taint[cur].as_ref().map_or(0, |t| t.dist);
+            for &caller in &self.callers[cur] {
+                let f = &self.fns[caller];
+                if taint[caller].is_none() && !f.in_test && !f.entropy_exempt {
+                    taint[caller] = Some(Taint {
+                        dist: dist + 1,
+                        via: Some(cur),
+                    });
+                    queue.push_back(caller);
+                }
+            }
+        }
+        taint
+    }
+
+    /// Render the propagation chain for a tainted fn:
+    /// `a::f -> a::g -> b::h` ending at the direct-entropy fn.
+    pub fn chain(&self, taint: &[Option<Taint>], mut id: usize) -> String {
+        let mut parts = vec![self.fns[id].qual.clone()];
+        let mut guard = 0usize;
+        while let Some(t) = taint.get(id).and_then(|t| t.as_ref()) {
+            let Some(next) = t.via else { break };
+            parts.push(self.fns[next].qual.clone());
+            id = next;
+            guard += 1;
+            if guard > self.fns.len() {
+                break; // defensive: chains cannot be longer than the graph
+            }
+        }
+        parts.join(" -> ")
+    }
+
+    /// Rule E001: public fns that reach entropy only *transitively*
+    /// (direct use is D002's territory). Returns `(file, diagnostic)`
+    /// pairs sorted by (file, line, col).
+    pub fn e001(&self) -> Vec<(String, RawDiagnostic)> {
+        let taint = self.entropy_taint();
+        let mut out: Vec<(String, RawDiagnostic)> = Vec::new();
+        for (id, f) in self.fns.iter().enumerate() {
+            let Some(t) = &taint[id] else { continue };
+            if t.dist == 0 || !f.is_pub || f.in_test || f.entropy_exempt {
+                continue;
+            }
+            // Find the chain's terminal direct-entropy fn for the source
+            // location in the message.
+            let mut term = id;
+            while let Some(Taint {
+                via: Some(next), ..
+            }) = &taint[term]
+            {
+                term = *next;
+            }
+            let (src_tok, src_line) = self.fns[term]
+                .entropy
+                .clone()
+                .unwrap_or_else(|| ("ambient entropy".to_string(), self.fns[term].line));
+            out.push((
+                f.file.clone(),
+                RawDiagnostic {
+                    rule: "E001",
+                    line: f.line,
+                    col: f.col,
+                    message: format!(
+                        "pub fn `{}` transitively reaches `{}` ({}:{}): {} — thread seeds \
+                         and clocks through explicit parameters, or confine the entropy \
+                         behind the telemetry boundary",
+                        f.name,
+                        src_tok,
+                        self.fns[term].file,
+                        src_line,
+                        self.chain(&taint, id),
+                    ),
+                },
+            ));
+        }
+        out.sort_by(|a, b| (&a.0, a.1.line, a.1.col).cmp(&(&b.0, b.1.line, b.1.col)));
+        out
+    }
+}
+
+/// Extract fn defs + call refs from one file.
+fn extract_file(rel: &str, lexed: &Lexed, fns: &mut Vec<FnDef>, calls: &mut Vec<CallRef>) {
+    let ctx = FileContext::from_rel_path(rel);
+    let tokens = &lexed.tokens;
+    let tree = ScopeTree::build(tokens);
+    let (crate_dir, file_mods) = file_module_path(rel);
+    let entropy_exempt = ctx.entropy_exempt();
+
+    // Innermost-fn ownership per token: children follow parents in the
+    // scopes vec, so later fills win.
+    let mut owner: Vec<Option<usize>> = vec![None; tokens.len()];
+    let mut scope_to_fn: BTreeMap<usize, usize> = BTreeMap::new();
+    let base = fns.len();
+    for (local, (scope_idx, sig)) in tree.fns().enumerate() {
+        let s = &tree.scopes[scope_idx];
+        let mut qual_parts: Vec<String> =
+            vec![crate_dir.clone().unwrap_or_else(|| "root".to_string())];
+        qual_parts.extend(file_mods.iter().cloned());
+        qual_parts.extend(tree.module_path(scope_idx));
+        qual_parts.push(sig.name.clone());
+        fns.push(FnDef {
+            qual: qual_parts.join("::"),
+            name: sig.name.clone(),
+            crate_dir: crate_dir.clone(),
+            file: rel.to_string(),
+            line: sig.line,
+            col: sig.col,
+            is_pub: sig.is_pub,
+            in_test: ctx.test_file || tree.in_test(scope_idx),
+            entropy_exempt,
+            entropy: None,
+        });
+        scope_to_fn.insert(scope_idx, base + local);
+        let end = s.close.min(tokens.len());
+        for o in owner.iter_mut().take(end).skip(s.open + 1) {
+            *o = Some(base + local);
+        }
+    }
+    // Second pass: re-fill so nested fns own their tokens (scopes vec is
+    // already parent-before-child, so the loop above suffices — nested
+    // fns were pushed later and overwrote the parent's range).
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(fn_id) = owner[i] else { continue };
+        let name = tok.text.as_str();
+        // Direct entropy.
+        let hit = if ENTROPY_IDENTS.contains(&name) {
+            Some(name.to_string())
+        } else if is_instant_now(tokens, i) {
+            Some("Instant::now".to_string())
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            let e = &mut fns[fn_id].entropy;
+            if e.is_none() {
+                *e = Some((what, tok.line));
+            }
+            continue;
+        }
+        // Calls: `ident (`, not a macro, not the def's own name token.
+        let followed_by_paren = tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct('('));
+        if !followed_by_paren
+            || NON_CALL_KEYWORDS.contains(&name)
+            || (i > 0 && tokens[i - 1].text == "fn")
+        {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].kind == TokKind::Punct('.') {
+            calls.push(CallRef {
+                caller: fn_id,
+                segments: Vec::new(),
+                name: name.to_string(),
+                is_method: true,
+            });
+            continue;
+        }
+        // Collect `a :: b ::` prefix backwards.
+        let mut segments: Vec<String> = Vec::new();
+        let mut j = i;
+        while j >= 3
+            && tokens[j - 1].kind == TokKind::Punct(':')
+            && tokens[j - 2].kind == TokKind::Punct(':')
+            && tokens[j - 3].kind == TokKind::Ident
+        {
+            segments.push(tokens[j - 3].text.clone());
+            j -= 3;
+        }
+        segments.reverse();
+        segments.retain(|s| !matches!(s.as_str(), "crate" | "self"));
+        calls.push(CallRef {
+            caller: fn_id,
+            segments,
+            name: name.to_string(),
+            is_method: false,
+        });
+    }
+
+    // Suppress accidental `mod`-scope reuse warnings: nothing else to do —
+    // scope_to_fn kept for potential future per-scope queries.
+    let _ = scope_to_fn;
+    let _ = ScopeKind::Other;
+}
+
+/// Resolve one call to candidate fn ids (sorted, possibly several for a
+/// deliberately conservative taint propagation).
+fn resolve(fns: &[FnDef], by_name: &BTreeMap<&str, Vec<usize>>, call: &CallRef) -> Vec<usize> {
+    let Some(cands) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    let caller = &fns[call.caller];
+    if call.is_method {
+        // Method names resolve only when workspace-unique: `new`/`run`/
+        // `len` collisions would wire the graph into noise.
+        return if cands.len() == 1 {
+            cands.clone()
+        } else {
+            Vec::new()
+        };
+    }
+    if !call.segments.is_empty() {
+        // Path call: the callee's qualified path must end with the
+        // written segments (crate aliases normalized: `spice_md` ≡ `md`).
+        let want: Vec<&str> = call.segments.iter().map(|s| normalize_segment(s)).collect();
+        let mut hits: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let parts: Vec<&str> = fns[id].qual.split("::").collect();
+                let path = &parts[..parts.len().saturating_sub(1)];
+                path.len() >= want.len() && path[path.len() - want.len()..] == want[..]
+            })
+            .collect();
+        let same_crate: Vec<usize> = hits
+            .iter()
+            .copied()
+            .filter(|&id| fns[id].crate_dir == caller.crate_dir)
+            .collect();
+        if !same_crate.is_empty() {
+            hits = same_crate;
+        }
+        return hits;
+    }
+    // Bare call: same module wins, then same crate, then any import
+    // candidate workspace-wide (conservative over-approximation).
+    let caller_mod = caller
+        .qual
+        .rsplit_once("::")
+        .map(|(m, _)| m.to_string())
+        .unwrap_or_default();
+    let same_mod: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&id| {
+            fns[id]
+                .qual
+                .rsplit_once("::")
+                .map(|(m, _)| m)
+                .unwrap_or_default()
+                == caller_mod
+        })
+        .collect();
+    if !same_mod.is_empty() {
+        return same_mod;
+    }
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&id| fns[id].crate_dir == caller.crate_dir)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    cands.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let lexed: Vec<(String, Lexed)> = files
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), lex(s)))
+            .collect();
+        let refs: Vec<(String, &Lexed)> = lexed.iter().map(|(p, l)| (p.clone(), l)).collect();
+        CallGraph::build(&refs)
+    }
+
+    fn by_qual<'a>(g: &'a CallGraph, qual: &str) -> (usize, &'a FnDef) {
+        g.fns
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.qual == qual)
+            .unwrap_or_else(|| panic!("fn {qual} not found in {:?}", g.fns))
+    }
+
+    #[test]
+    fn defs_get_modules_and_visibility() {
+        let g = graph(&[(
+            "crates/md/src/forces/ext.rs",
+            "pub fn api() {}\nmod detail { fn inner() {} }",
+        )]);
+        let (_, api) = by_qual(&g, "md::forces::ext::api");
+        assert!(api.is_pub);
+        let (_, inner) = by_qual(&g, "md::forces::ext::detail::inner");
+        assert!(!inner.is_pub);
+    }
+
+    #[test]
+    fn bare_call_resolves_same_module_first() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {} pub fn go() { helper(); }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let (go, _) = by_qual(&g, "a::go");
+        let (a_help, _) = by_qual(&g, "a::helper");
+        assert_eq!(g.callees[go], vec![a_help], "same-crate helper wins");
+    }
+
+    #[test]
+    fn qualified_cross_crate_call_resolves() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn go() { spice_b::helper(); }"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let (go, _) = by_qual(&g, "a::go");
+        let (help, _) = by_qual(&g, "b::helper");
+        assert_eq!(g.callees[go], vec![help]);
+    }
+
+    #[test]
+    fn taint_propagates_through_cycles_and_stops() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn outer() { ping(); }\n\
+             fn ping() { pong(); roll(); }\n\
+             fn pong() { ping(); }\n\
+             fn roll() { let r = thread_rng(); }",
+        )]);
+        let taint = g.entropy_taint();
+        let (outer, _) = by_qual(&g, "a::outer");
+        let (roll, _) = by_qual(&g, "a::roll");
+        assert_eq!(taint[roll].as_ref().map(|t| t.dist), Some(0));
+        assert_eq!(taint[outer].as_ref().map(|t| t.dist), Some(2));
+        let chain = g.chain(&taint, outer);
+        assert_eq!(chain, "a::outer -> a::ping -> a::roll");
+    }
+
+    #[test]
+    fn e001_fires_only_at_transitive_public_boundary() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn clean() {}\n\
+             pub fn direct() { let r = thread_rng(); }\n\
+             pub fn indirect() { direct(); }\n\
+             fn private_indirect() { direct(); }",
+        )]);
+        let diags = g.e001();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].1.rule, "E001");
+        assert!(diags[0].1.message.contains("a::indirect -> a::direct"));
+        assert!(diags[0].1.message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn test_and_exempt_contexts_do_not_seed_or_fire() {
+        let g = graph(&[
+            (
+                "crates/telemetry/src/lib.rs",
+                "pub fn clock() { let t = Instant::now(); }",
+            ),
+            (
+                "crates/a/src/lib.rs",
+                "#[cfg(test)]\nmod tests { fn t() { let r = thread_rng(); } }",
+            ),
+        ]);
+        assert!(g.e001().is_empty());
+        assert!(g.entropy_taint().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn deterministic_across_rebuilds_and_input_order() {
+        let files = [
+            ("crates/b/src/lib.rs", "pub fn b1() { spice_a::a1(); }"),
+            (
+                "crates/a/src/lib.rs",
+                "pub fn a1() { let t = SystemTime::now(); }",
+            ),
+        ];
+        let g1 = graph(&files);
+        let rev = [files[1], files[0]];
+        let g2 = graph(&rev);
+        let quals1: Vec<&String> = g1.fns.iter().map(|f| &f.qual).collect();
+        let quals2: Vec<&String> = g2.fns.iter().map(|f| &f.qual).collect();
+        assert_eq!(quals1, quals2);
+        assert_eq!(g1.callees, g2.callees);
+        let d1: Vec<String> = g1
+            .e001()
+            .iter()
+            .map(|(p, d)| format!("{p}:{d:?}"))
+            .collect();
+        let d2: Vec<String> = g2
+            .e001()
+            .iter()
+            .map(|(p, d)| format!("{p}:{d:?}"))
+            .collect();
+        assert_eq!(d1, d2);
+    }
+}

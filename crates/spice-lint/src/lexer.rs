@@ -328,13 +328,31 @@ fn lex_char_body(cur: &mut Cursor<'_>) {
     }
 }
 
+/// Byte length of the UTF-8 character starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >= 0xF0 {
+        4
+    } else if b >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
 /// Disambiguate `'a'` (char), `'a` (lifetime) and `'_`; called with the
 /// cursor on the opening quote. Lifetimes are pushed directly; char
-/// literals return their kind for the caller to push.
+/// literals return their kind for the caller to push. The closing-quote
+/// probe skips one full UTF-8 character, so `'é'` is a char literal and
+/// not a lifetime plus a stray quote.
 fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed) -> Option<TokKind> {
     let (line, col) = (cur.line, cur.col);
     // Lifetime: 'ident not followed by a closing quote.
-    if cur.peek(1).is_some_and(|c| is_ident_start(c) || c == b'_') && cur.peek(2) != Some(b'\'') {
+    let first_len = cur.peek(1).map_or(1, utf8_len);
+    if cur.peek(1).is_some_and(|c| is_ident_start(c) || c == b'_')
+        && cur.peek(1 + first_len) != Some(b'\'')
+    {
         cur.bump(); // '
         let start = cur.pos;
         while cur.peek(0).is_some_and(is_ident_continue) {
@@ -459,6 +477,72 @@ mod tests {
             .filter(|t| t.kind == TokKind::Char)
             .collect();
         assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        // Depth three, with decoys inside: everything up to the LAST
+        // `*/` is comment, and code resumes after it.
+        let src = "before /* d1 /* d2 /* d3 unwrap() */ still /* d3b */ d2 */ d1 */ after";
+        assert_eq!(idents(src), ["before", "after"]);
+        // An unterminated nested comment swallows the rest gracefully.
+        assert_eq!(idents("x /* /* never closed */ y"), ["x"]);
+    }
+
+    #[test]
+    fn byte_raw_strings_with_hashes_swallow_contents() {
+        let src = r###"let x = br##"quote " and "# unwrap() inside"##; let y = after;"###;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        // The literal is one Str token.
+        let strs = lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 1);
+        // Plain byte strings and hashless raw strings still work.
+        assert_eq!(idents(r#"b"bytes with unwrap()" tail"#), ["tail"]);
+        assert_eq!(idents(r##"r#"raw with unwrap()"# tail"##), ["tail"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_ambiguity() {
+        let kinds = |src: &str| lex(src).tokens.iter().map(|t| t.kind).collect::<Vec<_>>();
+        // 'a' is a char; 'a (no closing quote) is a lifetime.
+        assert_eq!(kinds("'a'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'a"), vec![TokKind::Lifetime]);
+        assert_eq!(kinds("'_"), vec![TokKind::Lifetime]);
+        // Byte char and escaped-quote char literals.
+        assert_eq!(kinds("b'x'"), vec![TokKind::Char]);
+        assert_eq!(kinds(r"'\''"), vec![TokKind::Char]);
+        // A multi-byte char literal is one Char token, not a lifetime
+        // plus a stray quote.
+        assert_eq!(kinds("'é'"), vec![TokKind::Char]);
+        // Loop labels stay lifetimes even followed by a colon.
+        assert_eq!(
+            kinds("'outer: loop")[..2],
+            [TokKind::Lifetime, TokKind::Punct(':')]
+        );
+        // Generic bounds mix lifetimes and chars without confusion.
+        let mixed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            mixed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            mixed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
     }
 
     #[test]

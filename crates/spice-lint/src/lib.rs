@@ -4,18 +4,28 @@
 //! Jarzynski's exponential work average is dominated by rare tail
 //! trajectories, so one nondeterministic iteration order or NaN-unsafe
 //! sort silently corrupts the PMF. This crate turns those conventions
-//! into enforced invariants: a dependency-free lexer + token-stream
-//! pass over every workspace `.rs` file, reporting rule violations with
-//! `file:line:col` diagnostics, suppressible only through a written
-//! `// spice-lint: allow(RULE) reason` annotation or a `lint-allow.toml`
-//! baseline entry. See DESIGN.md §9 for the rule catalog and policy.
+//! into enforced invariants, as three layers (DESIGN.md §10):
+//!
+//! 1. **Syntax** — a dependency-free lexer (`lexer`) plus a
+//!    brace-matched scope tree per file (`parser`): modules, fn bodies,
+//!    loop bodies, test gating, and rayon-chain regions.
+//! 2. **Workspace semantics** — fn definitions and call sites across
+//!    every crate resolved into a deterministic call graph
+//!    (`callgraph`), with entropy taint propagated backwards.
+//! 3. **Rules** — per-file rules (`rules`) and the interprocedural
+//!    E001 on top, reporting `file:line:col` diagnostics suppressible
+//!    only through a written `// spice-lint: allow(RULE) reason`
+//!    annotation or a `lint-allow.toml` baseline entry (`allow`).
 
 pub mod allow;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use allow::{parse_baseline, parse_inline, Baseline};
 use rules::{run_rules, FileContext, RawDiagnostic};
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -44,14 +54,19 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
-/// Lint one file's source against the rules, applying inline allows and
-/// the baseline. `rel_path` drives crate scoping and must be
-/// workspace-relative with `/` separators.
-pub fn lint_source(rel_path: &str, src: &str, baseline: &Baseline) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
+/// Run the per-file rules over an already-lexed file, merge in
+/// `extra` workspace-level raw diagnostics (E001 sites owned by this
+/// file), and apply both suppression layers plus allow hygiene.
+fn lint_lexed(
+    rel_path: &str,
+    lexed: &lexer::Lexed,
+    baseline: &Baseline,
+    extra: Vec<RawDiagnostic>,
+) -> Vec<Diagnostic> {
     let ctx = FileContext::from_rel_path(rel_path);
     let file_allows = parse_inline(&lexed.comments);
-    let raw = run_rules(&ctx, &lexed);
+    let mut raw = run_rules(&ctx, lexed);
+    raw.extend(extra);
 
     let mut out: Vec<Diagnostic> = Vec::new();
     for d in raw {
@@ -103,6 +118,14 @@ pub fn lint_source(rel_path: &str, src: &str, baseline: &Baseline) -> Vec<Diagno
     out
 }
 
+/// Lint one file's source against the per-file rules, applying inline
+/// allows and the baseline. `rel_path` drives crate scoping and must be
+/// workspace-relative with `/` separators. The interprocedural rule
+/// E001 needs the whole workspace and only runs in [`lint_workspace`].
+pub fn lint_source(rel_path: &str, src: &str, baseline: &Baseline) -> Vec<Diagnostic> {
+    lint_lexed(rel_path, &lexer::lex(src), baseline, Vec::new())
+}
+
 /// Result of a whole-workspace lint.
 #[derive(Debug, Default)]
 pub struct WorkspaceReport {
@@ -149,13 +172,18 @@ pub fn load_baseline(root: &Path) -> Baseline {
     }
 }
 
-/// Lint every `.rs` file under `root` (the workspace checkout).
+/// Lint every `.rs` file under `root` (the workspace checkout): the
+/// per-file pass on each file, then the workspace call graph for E001,
+/// then baseline hygiene (parse problems, entries that suppress
+/// nothing, and entries whose file no longer exists).
 pub fn lint_workspace(root: &Path) -> WorkspaceReport {
     let baseline = load_baseline(root);
     let mut files = Vec::new();
     collect_rs_files(root, &mut files);
 
-    let mut report = WorkspaceReport::default();
+    // Phase 1: read + lex everything once; both the per-file rules and
+    // the call graph work from the same token streams.
+    let mut lexed_files: Vec<(String, lexer::Lexed)> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -165,13 +193,35 @@ pub fn lint_workspace(root: &Path) -> WorkspaceReport {
         let Ok(src) = fs::read_to_string(path) else {
             continue;
         };
+        lexed_files.push((rel, lexer::lex(&src)));
+    }
+
+    // Phase 2: workspace call graph → E001 raw diagnostics, grouped by
+    // the file that owns the flagged public fn (so its inline allows
+    // and baseline entries apply like any other rule).
+    let refs: Vec<(String, &lexer::Lexed)> = lexed_files
+        .iter()
+        .map(|(rel, lexed)| (rel.clone(), lexed))
+        .collect();
+    let graph = callgraph::CallGraph::build(&refs);
+    let mut e001: BTreeMap<String, Vec<RawDiagnostic>> = BTreeMap::new();
+    for (file, d) in graph.e001() {
+        e001.entry(file).or_default().push(d);
+    }
+
+    let mut report = WorkspaceReport::default();
+    for (rel, lexed) in &lexed_files {
         report.files_scanned += 1;
+        let extra = e001.remove(rel).unwrap_or_default();
         report
             .diagnostics
-            .extend(lint_source(&rel, &src, &baseline));
+            .extend(lint_lexed(rel, lexed, &baseline, extra));
     }
+
     // Baseline hygiene: parse problems and entries that suppress
-    // nothing anywhere in the workspace are violations too.
+    // nothing anywhere in the workspace are violations too. An unused
+    // entry whose path prefix matches no scanned file is a rename/delete
+    // leftover and gets the distinct missing-file message.
     for p in &baseline.problems {
         report.diagnostics.push(Diagnostic {
             rule: "A001",
@@ -183,15 +233,28 @@ pub fn lint_workspace(root: &Path) -> WorkspaceReport {
     }
     for e in &baseline.entries {
         if !e.used.get() {
+            let file_exists = lexed_files
+                .iter()
+                .any(|(rel, _)| rel.starts_with(e.path.as_str()));
+            let message = if file_exists {
+                format!(
+                    "stale baseline entry: rule {} at path `{}` suppresses nothing",
+                    e.rule, e.path
+                )
+            } else {
+                format!(
+                    "stale baseline entry: rule {} at path `{}` — no file under that \
+                     path exists in the workspace (renamed or deleted?); remove or \
+                     update the entry",
+                    e.rule, e.path
+                )
+            };
             report.diagnostics.push(Diagnostic {
                 rule: "A002",
                 path: "lint-allow.toml".into(),
                 line: 1,
                 col: 1,
-                message: format!(
-                    "stale baseline entry: rule {} at path `{}` suppresses nothing",
-                    e.rule, e.path
-                ),
+                message,
             });
         }
     }
@@ -199,6 +262,57 @@ pub fn lint_workspace(root: &Path) -> WorkspaceReport {
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     report
+}
+
+/// Escape a string for a JSON string literal (hand-rolled: the
+/// workspace is dependency-free).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a workspace report as stable, sorted JSON — the machine
+/// interface CI archives as an artifact. Diagnostics keep the
+/// (path, line, col, rule) order [`lint_workspace`] produced, so equal
+/// inputs yield byte-equal output.
+pub fn report_to_json(report: &WorkspaceReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"violations\": {},\n  \"diagnostics\": [",
+        report.files_scanned,
+        report.diagnostics.len()
+    ));
+    for (k, d) in report.diagnostics.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 /// Find the workspace root: walk up from `start` looking for a
@@ -269,5 +383,28 @@ let a = b.unwrap();
         let diags = lint_source("crates/md/src/x.rs", "let a = b.unwrap();", &baseline);
         assert!(diags.is_empty(), "{diags:?}");
         assert!(baseline.entries[0].used.get());
+    }
+
+    #[test]
+    fn json_report_is_stable_and_escaped() {
+        let report = WorkspaceReport {
+            diagnostics: vec![Diagnostic {
+                rule: "T001",
+                path: "crates/md/src/x.rs".into(),
+                line: 3,
+                col: 7,
+                message: "a \"quoted\"\nmessage\\".into(),
+            }],
+            files_scanned: 1,
+        };
+        let json = report_to_json(&report);
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains(r#"\"quoted\"\nmessage\\"#), "{json}");
+        // Same input, same bytes.
+        assert_eq!(json, report_to_json(&report));
+        // Empty report closes the array cleanly.
+        let empty = report_to_json(&WorkspaceReport::default());
+        assert!(empty.contains("\"diagnostics\": []"), "{empty}");
     }
 }

@@ -1,10 +1,13 @@
 //! CLI for the workspace analyzer.
 //!
 //! ```text
-//! cargo run -p spice-lint --            # report violations (exit 0)
-//! cargo run -p spice-lint -- --deny     # exit nonzero on any violation
+//! cargo run -p spice-lint --                  # report violations (exit 0)
+//! cargo run -p spice-lint -- --deny           # exit nonzero on any violation
+//! cargo run -p spice-lint -- --format json    # stable machine-readable report
+//! cargo run -p spice-lint -- --explain R002   # print a rule's full rationale
+//! cargo run -p spice-lint -- --check-baseline # lint-allow.toml hygiene only
 //! cargo run -p spice-lint -- --list-rules
-//! cargo run -p spice-lint -- --root DIR # lint another checkout
+//! cargo run -p spice-lint -- --root DIR       # lint another checkout
 //! ```
 
 use std::path::PathBuf;
@@ -13,6 +16,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut deny = false;
     let mut list_rules = false;
+    let mut check_baseline = false;
+    let mut json = false;
+    let mut explain: Option<String> = None;
     let mut root: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -20,6 +26,25 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deny" => deny = true,
             "--list-rules" => list_rules = true,
+            "--check-baseline" => check_baseline = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "error: --format takes `json` or `text`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => match args.next() {
+                Some(rule) => explain = Some(rule),
+                None => {
+                    eprintln!("error: --explain requires a rule id (e.g. R002)");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -31,11 +56,16 @@ fn main() -> ExitCode {
                 println!(
                     "spice-lint: workspace determinism & numerical-safety analyzer\n\
                      \n\
-                     USAGE: spice-lint [--deny] [--root DIR] [--list-rules]\n\
+                     USAGE: spice-lint [--deny] [--root DIR] [--format json|text]\n\
+                     \x20                 [--explain RULE] [--check-baseline] [--list-rules]\n\
                      \n\
-                     --deny        exit nonzero when any non-allowed violation remains\n\
-                     --root DIR    workspace root to scan (default: walk up from cwd)\n\
-                     --list-rules  print the rule catalog and exit"
+                     --deny            exit nonzero when any non-allowed violation remains\n\
+                     --root DIR        workspace root to scan (default: walk up from cwd)\n\
+                     --format json     emit a stable, sorted JSON report on stdout\n\
+                     --explain RULE    print one rule's summary and full rationale\n\
+                     --check-baseline  report only lint-allow.toml hygiene (stale/missing\n\
+                     \x20                 entries, parse problems); exit nonzero on any\n\
+                     --list-rules      print the rule catalog and exit"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -51,6 +81,19 @@ fn main() -> ExitCode {
             println!("{}  {}", rule.id, rule.summary);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(id) = explain {
+        return match spice_lint::rules::rule_info(&id) {
+            Some(rule) => {
+                println!("{}: {}\n\n{}", rule.id, rule.summary, rule.detail);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: unknown rule `{id}` — run --list-rules for the catalog");
+                ExitCode::from(2)
+            }
+        };
     }
 
     let root = match root {
@@ -70,9 +113,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = spice_lint::lint_workspace(&root);
-    for d in &report.diagnostics {
-        println!("{d}");
+    let mut report = spice_lint::lint_workspace(&root);
+    if check_baseline {
+        // Baseline hygiene only: the diagnostics attributed to the
+        // baseline file itself (stale entries, missing files, parse
+        // problems). Always denying — a rotten baseline is never OK.
+        report.diagnostics.retain(|d| d.path == "lint-allow.toml");
+        deny = true;
+    }
+
+    if json {
+        print!("{}", spice_lint::report_to_json(&report));
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
     }
     let n = report.diagnostics.len();
     eprintln!(

@@ -1,0 +1,853 @@
+//! Syntax layer: a brace-matched scope tree per file.
+//!
+//! The token-stream rules originally derived their test/loop context
+//! from ad-hoc pattern scans (`# [ cfg ( test ) ]` lookahead, bounded
+//! body-brace searches). This module replaces those heuristics with one
+//! structural pass that parses the token stream into a tree of nested
+//! scopes — modules, fn bodies, loop bodies, and anonymous braces —
+//! so every rule and the workspace call graph share a single, faithful
+//! notion of "where am I". Still dependency-free: the tree is built
+//! from the lexer's tokens, not from `syn`.
+
+use crate::lexer::{TokKind, Token};
+
+/// What a scope is, structurally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// The whole file.
+    Root,
+    /// An inline `mod name { … }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// True when a `#[cfg(test)]`-style attribute gates the module.
+        cfg_test: bool,
+    },
+    /// A `fn name(…) { … }` body, with its parsed signature facts.
+    Fn(FnSig),
+    /// The body braces of `loop`/`while`/`for`.
+    LoopBody,
+    /// Any other brace pair (impl/trait/match/struct-literal/block…).
+    Other,
+}
+
+/// Signature facts for a fn scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// The fn's name.
+    pub name: String,
+    /// True for unrestricted `pub` (not `pub(crate)`/`pub(super)` —
+    /// those are not a public boundary).
+    pub is_pub: bool,
+    /// True when a `#[test]`/`#[cfg(test)]` attribute gates the fn.
+    pub cfg_test: bool,
+    /// 1-indexed line of the fn name.
+    pub line: u32,
+    /// 1-indexed column of the fn name.
+    pub col: u32,
+}
+
+/// One scope: a token range `[open, close]` (brace indices) plus its
+/// parent link. The root spans the whole file.
+#[derive(Debug)]
+pub struct Scope {
+    /// Structural kind.
+    pub kind: ScopeKind,
+    /// Parent scope index (root points at itself).
+    pub parent: usize,
+    /// Token index of the opening `{` (0 for root).
+    pub open: usize,
+    /// Token index of the matching `}` (token count for root and for
+    /// scopes left unclosed at EOF).
+    pub close: usize,
+}
+
+/// The scope tree for one file.
+#[derive(Debug)]
+pub struct ScopeTree {
+    /// All scopes; index 0 is the root. Children always follow their
+    /// parents (scopes are pushed at their opening brace).
+    pub scopes: Vec<Scope>,
+}
+
+/// A not-yet-opened construct: we saw its keyword and are waiting for
+/// the body `{` (or a `;`/mismatch that cancels it).
+#[derive(Debug)]
+enum Pending {
+    Mod {
+        name: String,
+        cfg_test: bool,
+        depth: usize,
+    },
+    Fn {
+        sig: FnSig,
+        depth: usize,
+        paren: i32,
+        bracket: i32,
+    },
+    Loop {
+        is_for: bool,
+        saw_in: bool,
+        saw_let: bool,
+        saw_eq: bool,
+        depth: usize,
+        paren: i32,
+        bracket: i32,
+    },
+}
+
+impl Pending {
+    fn depth(&self) -> usize {
+        match self {
+            Pending::Mod { depth, .. }
+            | Pending::Fn { depth, .. }
+            | Pending::Loop { depth, .. } => *depth,
+        }
+    }
+
+    fn at_item_level(&self, stack_len: usize) -> bool {
+        let flat = match self {
+            Pending::Mod { .. } => true,
+            Pending::Fn { paren, bracket, .. } | Pending::Loop { paren, bracket, .. } => {
+                *paren == 0 && *bracket == 0
+            }
+        };
+        flat && self.depth() == stack_len
+    }
+}
+
+/// Scan a `#[…]` attribute starting at the `#` token; returns the index
+/// just past the closing `]` plus whether the attribute gates test
+/// compilation (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]` — but
+/// not `#[cfg(not(test))]`).
+fn scan_attr(tokens: &[Token], i: usize) -> (usize, bool) {
+    let mut j = i + 1; // at '['
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            TokKind::Ident => idents.push(tokens[j].text.as_str()),
+            _ => {}
+        }
+        j += 1;
+    }
+    let is_test = match idents.first().copied() {
+        Some("test") => idents.len() == 1,
+        Some("cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    (j, is_test)
+}
+
+impl ScopeTree {
+    /// Parse the token stream into a scope tree. Never fails: unmatched
+    /// braces close at EOF and unknown constructs become `Other` scopes.
+    pub fn build(tokens: &[Token]) -> ScopeTree {
+        let mut scopes = vec![Scope {
+            kind: ScopeKind::Root,
+            parent: 0,
+            open: 0,
+            close: tokens.len(),
+        }];
+        let mut stack: Vec<usize> = vec![0];
+        let mut pendings: Vec<Pending> = Vec::new();
+        let mut attr_test = false;
+        let mut saw_pub = false;
+        let mut pub_restricted = false;
+        let mut i = 0usize;
+
+        while i < tokens.len() {
+            let t = &tokens[i];
+            // Attributes: consume wholesale, remember test-gating.
+            if t.kind == TokKind::Punct('#')
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct('['))
+            {
+                let (next, is_test) = scan_attr(tokens, i);
+                attr_test |= is_test;
+                i = next;
+                continue;
+            }
+            match t.kind {
+                TokKind::Ident => match t.text.as_str() {
+                    // Modifiers that keep attr/visibility state alive.
+                    "unsafe" | "async" | "const" | "extern" | "default" => {}
+                    "pub" => {
+                        saw_pub = true;
+                        pub_restricted = false;
+                        if tokens
+                            .get(i + 1)
+                            .is_some_and(|n| n.kind == TokKind::Punct('('))
+                        {
+                            pub_restricted = true;
+                            let mut depth = 0i32;
+                            let mut j = i + 1;
+                            while j < tokens.len() {
+                                match tokens[j].kind {
+                                    TokKind::Punct('(') => depth += 1,
+                                    TokKind::Punct(')') => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            i = j;
+                        }
+                    }
+                    "mod" => {
+                        let name = tokens
+                            .get(i + 1)
+                            .filter(|n| n.kind == TokKind::Ident)
+                            .map(|n| n.text.clone())
+                            .unwrap_or_default();
+                        pendings.push(Pending::Mod {
+                            name,
+                            cfg_test: attr_test,
+                            depth: stack.len(),
+                        });
+                        attr_test = false;
+                        saw_pub = false;
+                        i += 2;
+                        continue;
+                    }
+                    "fn" => {
+                        let (name, line, col) = tokens
+                            .get(i + 1)
+                            .filter(|n| n.kind == TokKind::Ident)
+                            .map(|n| (n.text.clone(), n.line, n.col))
+                            .unwrap_or_else(|| (String::new(), t.line, t.col));
+                        pendings.push(Pending::Fn {
+                            sig: FnSig {
+                                name,
+                                is_pub: saw_pub && !pub_restricted,
+                                cfg_test: attr_test,
+                                line,
+                                col,
+                            },
+                            depth: stack.len(),
+                            paren: 0,
+                            bracket: 0,
+                        });
+                        attr_test = false;
+                        saw_pub = false;
+                    }
+                    kw @ ("loop" | "while" | "for") => {
+                        pendings.push(Pending::Loop {
+                            is_for: kw == "for",
+                            saw_in: false,
+                            saw_let: false,
+                            saw_eq: false,
+                            depth: stack.len(),
+                            paren: 0,
+                            bracket: 0,
+                        });
+                        attr_test = false;
+                        saw_pub = false;
+                    }
+                    "in" => {
+                        if let Some(Pending::Loop {
+                            saw_in,
+                            depth,
+                            paren,
+                            bracket,
+                            ..
+                        }) = pendings.last_mut()
+                        {
+                            if *depth == stack.len() && *paren == 0 && *bracket == 0 {
+                                *saw_in = true;
+                            }
+                        }
+                    }
+                    "let" => {
+                        if let Some(Pending::Loop {
+                            saw_let,
+                            depth,
+                            paren,
+                            bracket,
+                            ..
+                        }) = pendings.last_mut()
+                        {
+                            if *depth == stack.len() && *paren == 0 && *bracket == 0 {
+                                *saw_let = true;
+                            }
+                        }
+                        attr_test = false;
+                        saw_pub = false;
+                    }
+                    _ => {
+                        attr_test = false;
+                        saw_pub = false;
+                    }
+                },
+                TokKind::Punct('=') => {
+                    if let Some(Pending::Loop {
+                        saw_eq,
+                        depth,
+                        paren,
+                        bracket,
+                        ..
+                    }) = pendings.last_mut()
+                    {
+                        if *depth == stack.len() && *paren == 0 && *bracket == 0 {
+                            *saw_eq = true;
+                        }
+                    }
+                }
+                TokKind::Punct(c @ ('(' | ')' | '[' | ']')) => {
+                    if let Some(p) = pendings.last_mut() {
+                        if p.depth() == stack.len() {
+                            if let Pending::Fn { paren, bracket, .. }
+                            | Pending::Loop { paren, bracket, .. } = p
+                            {
+                                match c {
+                                    '(' => *paren += 1,
+                                    ')' => *paren -= 1,
+                                    '[' => *bracket += 1,
+                                    _ => *bracket -= 1,
+                                }
+                            }
+                        }
+                    }
+                    attr_test = false;
+                    saw_pub = false;
+                }
+                // `extern "C"` between visibility and `fn`: the ABI string
+                // must not clear the modifier state.
+                TokKind::Str => {}
+                TokKind::Punct(';') => {
+                    if pendings
+                        .last()
+                        .is_some_and(|p| p.at_item_level(stack.len()))
+                    {
+                        pendings.pop();
+                    }
+                    attr_test = false;
+                    saw_pub = false;
+                }
+                TokKind::Punct('{') => {
+                    let armed = pendings
+                        .last()
+                        .is_some_and(|p| p.at_item_level(stack.len()));
+                    let kind = if armed {
+                        match pendings.pop() {
+                            Some(Pending::Mod { name, cfg_test, .. }) => {
+                                ScopeKind::Mod { name, cfg_test }
+                            }
+                            Some(Pending::Fn { sig, .. }) => ScopeKind::Fn(sig),
+                            Some(Pending::Loop {
+                                is_for,
+                                saw_in,
+                                saw_let,
+                                saw_eq,
+                                ..
+                            }) => {
+                                // `for … in … {` needs its `in`; a `while let
+                                // Pat { … }` brace before the `=` is the
+                                // pattern, not the body — keep waiting.
+                                if is_for && !saw_in {
+                                    ScopeKind::Other
+                                } else if saw_let && !saw_eq {
+                                    pendings.push(Pending::Loop {
+                                        is_for,
+                                        saw_in,
+                                        saw_let,
+                                        saw_eq,
+                                        depth: stack.len(),
+                                        paren: 0,
+                                        bracket: 0,
+                                    });
+                                    ScopeKind::Other
+                                } else {
+                                    ScopeKind::LoopBody
+                                }
+                            }
+                            None => ScopeKind::Other,
+                        }
+                    } else {
+                        ScopeKind::Other
+                    };
+                    let parent = *stack.last().unwrap_or(&0);
+                    scopes.push(Scope {
+                        kind,
+                        parent,
+                        open: i,
+                        close: tokens.len(),
+                    });
+                    stack.push(scopes.len() - 1);
+                    attr_test = false;
+                    saw_pub = false;
+                }
+                TokKind::Punct('}') => {
+                    if stack.len() > 1 {
+                        let idx = stack.pop().unwrap_or(0);
+                        scopes[idx].close = i;
+                    }
+                    while pendings.last().is_some_and(|p| p.depth() > stack.len()) {
+                        pendings.pop();
+                    }
+                    attr_test = false;
+                    saw_pub = false;
+                }
+                _ => {
+                    attr_test = false;
+                    saw_pub = false;
+                }
+            }
+            i += 1;
+        }
+        ScopeTree { scopes }
+    }
+
+    /// Token mask: true inside `#[cfg(test)]` modules and `#[test]`/
+    /// `#[cfg(test)]` fns — the structural replacement for the old
+    /// pattern-scan `test_mask`.
+    pub fn test_mask(&self, n_tokens: usize) -> Vec<bool> {
+        let mut mask = vec![false; n_tokens];
+        for s in &self.scopes {
+            let test = match &s.kind {
+                ScopeKind::Mod { cfg_test, .. } => *cfg_test,
+                ScopeKind::Fn(sig) => sig.cfg_test,
+                _ => false,
+            };
+            if test {
+                let end = s.close.min(n_tokens.saturating_sub(1));
+                for m in mask.iter_mut().take(end + 1).skip(s.open) {
+                    *m = true;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Token mask: true strictly inside `loop`/`while`/`for` bodies.
+    pub fn loop_mask(&self, n_tokens: usize) -> Vec<bool> {
+        let mut mask = vec![false; n_tokens];
+        for s in &self.scopes {
+            if s.kind == ScopeKind::LoopBody {
+                let end = s.close.min(n_tokens);
+                for m in mask.iter_mut().take(end).skip(s.open + 1) {
+                    *m = true;
+                }
+            }
+        }
+        mask
+    }
+
+    /// True when the scope (or any ancestor) is test-gated.
+    pub fn in_test(&self, mut idx: usize) -> bool {
+        loop {
+            let s = &self.scopes[idx];
+            let test = match &s.kind {
+                ScopeKind::Mod { cfg_test, .. } => *cfg_test,
+                ScopeKind::Fn(sig) => sig.cfg_test,
+                _ => false,
+            };
+            if test {
+                return true;
+            }
+            if idx == 0 {
+                return false;
+            }
+            idx = s.parent;
+        }
+    }
+
+    /// Inline-module path of a scope, outermost first.
+    pub fn module_path(&self, idx: usize) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = idx;
+        loop {
+            if let ScopeKind::Mod { name, .. } = &self.scopes[cur].kind {
+                chain.push(name.clone());
+            }
+            if cur == 0 {
+                break;
+            }
+            cur = self.scopes[cur].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// All fn scopes as `(scope index, signature)`.
+    pub fn fns(&self) -> impl Iterator<Item = (usize, &FnSig)> {
+        self.scopes.iter().enumerate().filter_map(|(i, s)| {
+            if let ScopeKind::Fn(sig) = &s.kind {
+                Some((i, sig))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Rayon-source methods that start a parallel iterator chain.
+const PAR_SOURCES: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+];
+
+/// Chain methods that consume a parallel iterator: after one of these
+/// the chain is no longer parallel, so the walk stops.
+const PAR_CONSUMERS: &[&str] = &[
+    "collect",
+    "for_each",
+    "count",
+    "any",
+    "all",
+    "find",
+    "find_any",
+    "find_first",
+    "position",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "unzip",
+    "partition",
+];
+
+/// Order-sensitive reductions: nondeterministic over floats in a real
+/// work-stealing pool (reassociation order varies per run).
+const PAR_REDUCTIONS: &[&str] = &["sum", "reduce", "fold", "product"];
+
+/// Result of the parallel-closure analysis for one file.
+#[derive(Debug, Default)]
+pub struct ParAnalysis {
+    /// True for tokens inside the argument lists of parallel-chain
+    /// methods (closure bodies included) and `spawn(…)` calls.
+    pub par_mask: Vec<bool>,
+    /// Token indices of `sum`/`reduce`/`fold`/`product` idents applied
+    /// to a still-parallel chain (rule R002's sites).
+    pub reductions: Vec<usize>,
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, tok) in tokens.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Skip a turbofish `::<…>` starting at the first `:`; returns the index
+/// just past the closing `>`, or `start` when it is not a turbofish.
+fn skip_turbofish(tokens: &[Token], start: usize) -> usize {
+    if !(tokens
+        .get(start)
+        .is_some_and(|t| t.kind == TokKind::Punct(':'))
+        && tokens
+            .get(start + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct(':'))
+        && tokens
+            .get(start + 2)
+            .is_some_and(|t| t.kind == TokKind::Punct('<')))
+    {
+        return start;
+    }
+    let mut depth = 0i32;
+    let mut j = start + 2;
+    let limit = (j + 64).min(tokens.len());
+    while j < limit {
+        match tokens[j].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    start
+}
+
+/// Find parallel-iterator chains and `spawn` bodies: marks their
+/// argument tokens (rule R001's scope) and records order-sensitive
+/// reductions on still-parallel chains (rule R002's sites).
+pub fn analyze_par(tokens: &[Token]) -> ParAnalysis {
+    let mut out = ParAnalysis {
+        par_mask: vec![false; tokens.len()],
+        reductions: Vec::new(),
+    };
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        // `spawn(…)`: thread/rayon/scope spawns all take the closure as
+        // their argument — mark the whole argument region.
+        if name == "spawn" {
+            if let Some(open) = tokens
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Punct('('))
+                .map(|_| i + 1)
+            {
+                if let Some(close) = matching_paren(tokens, open) {
+                    for m in out.par_mask.iter_mut().take(close).skip(open + 1) {
+                        *m = true;
+                    }
+                }
+            }
+            continue;
+        }
+        if !PAR_SOURCES.contains(&name) {
+            continue;
+        }
+        // Must be a method call: `. par_iter (`.
+        let is_call = i > 0
+            && tokens[i - 1].kind == TokKind::Punct('.')
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Punct('('));
+        if !is_call {
+            continue;
+        }
+        let Some(src_close) = matching_paren(tokens, i + 1) else {
+            continue;
+        };
+        // Walk the chain.
+        let mut j = src_close + 1;
+        while tokens.get(j).is_some_and(|t| t.kind == TokKind::Punct('.'))
+            && tokens.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let m = j + 1;
+            let method = tokens[m].text.as_str();
+            let after = skip_turbofish(tokens, m + 1);
+            if !tokens
+                .get(after)
+                .is_some_and(|t| t.kind == TokKind::Punct('('))
+            {
+                break; // field access / end of chain
+            }
+            let Some(close) = matching_paren(tokens, after) else {
+                break;
+            };
+            for msk in out.par_mask.iter_mut().take(close).skip(after + 1) {
+                *msk = true;
+            }
+            if PAR_REDUCTIONS.contains(&method) {
+                out.reductions.push(m);
+            }
+            if PAR_CONSUMERS.contains(&method) || PAR_REDUCTIONS.contains(&method) {
+                break; // chain is consumed past this point
+            }
+            j = close + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Vec<Token>, ScopeTree) {
+        let tokens = lex(src).tokens;
+        let t = ScopeTree::build(&tokens);
+        (tokens, t)
+    }
+
+    fn masked_idents(src: &str, which: &str) -> Vec<String> {
+        let (tokens, t) = tree(src);
+        let mask = match which {
+            "test" => t.test_mask(tokens.len()),
+            _ => t.loop_mask(tokens.len()),
+        };
+        tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, tok)| mask[*i] && tok.kind == TokKind::Ident)
+            .map(|(_, tok)| tok.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_masks_body_only() {
+        let src = "
+pub fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    fn t() { inner_marker(); }
+}
+fn after() {}
+";
+        let ids = masked_idents(src, "test");
+        assert!(ids.contains(&"inner_marker".to_string()));
+        assert!(!ids.contains(&"lib_code".to_string()));
+        assert!(!ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attrs_and_pub_still_masks() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\npub mod t { fn x() { marker(); } }";
+        assert!(masked_idents(src, "test").contains(&"marker".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let src = "#[cfg(not(test))]\nmod m { fn x() { marker(); } }";
+        assert!(!masked_idents(src, "test").contains(&"marker".to_string()));
+    }
+
+    #[test]
+    fn test_fn_attribute_masks_fn_body() {
+        let src = "#[test]\nfn t() { marker(); }\nfn lib() { other(); }";
+        let ids = masked_idents(src, "test");
+        assert!(ids.contains(&"marker".to_string()));
+        assert!(!ids.contains(&"other".to_string()));
+    }
+
+    #[test]
+    fn loop_mask_covers_all_loop_forms() {
+        let src = "
+fn f() {
+    for x in xs { in_for(); }
+    while cond() { in_while(); }
+    loop { in_loop(); }
+    after();
+}
+";
+        let ids = masked_idents(src, "loop");
+        for m in ["in_for", "in_while", "in_loop"] {
+            assert!(ids.contains(&m.to_string()), "{m} missing: {ids:?}");
+        }
+        assert!(!ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"cond".to_string()));
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "impl Clone for Thing { fn clone(&self) { body(); } }";
+        assert!(masked_idents(src, "loop").is_empty());
+    }
+
+    #[test]
+    fn closure_in_loop_condition_does_not_confuse_body() {
+        let src = "fn f() { while xs.iter().any(|x| { x.live }) { in_body(); } }";
+        let ids = masked_idents(src, "loop");
+        assert!(ids.contains(&"in_body".to_string()));
+        assert!(!ids.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn while_let_pattern_brace_is_not_the_body() {
+        let src = "fn f() { while let State { live } = next() { in_body(); } }";
+        let ids = masked_idents(src, "loop");
+        assert!(ids.contains(&"in_body".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"live".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn fn_signatures_parse_pub_and_restricted() {
+        let (_, t) = tree(
+            "pub fn api() {}\npub(crate) fn internal() {}\nfn private() {}\n\
+             pub async fn async_api() {}",
+        );
+        let sigs: Vec<(&str, bool)> = t.fns().map(|(_, s)| (s.name.as_str(), s.is_pub)).collect();
+        assert_eq!(
+            sigs,
+            [
+                ("api", true),
+                ("internal", false),
+                ("private", false),
+                ("async_api", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn module_paths_nest() {
+        let (_, t) = tree("mod outer { mod inner { fn deep() {} } }");
+        let (idx, sig) = t.fns().next().expect("one fn");
+        assert_eq!(sig.name, "deep");
+        assert_eq!(t.module_path(idx), ["outer", "inner"]);
+    }
+
+    #[test]
+    fn par_chain_marks_closure_and_finds_reduction() {
+        let src = "let e: f64 = xs.par_iter().map(|x| x * k).sum();";
+        let tokens = lex(src).tokens;
+        let par = analyze_par(&tokens);
+        assert_eq!(par.reductions.len(), 1, "{par:?}");
+        let masked: Vec<&str> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| par.par_mask[*i] && t.kind == TokKind::Ident)
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"x"), "{masked:?}");
+    }
+
+    #[test]
+    fn collect_ends_the_parallel_chain() {
+        let src =
+            "let v: Vec<f64> = xs.par_iter().map(|x| x).collect(); let s: f64 = v.iter().sum();";
+        let par = analyze_par(&lex(src).tokens);
+        assert!(
+            par.reductions.is_empty(),
+            "serial sum after collect: {par:?}"
+        );
+    }
+
+    #[test]
+    fn serial_chains_are_untouched() {
+        let src = "let s: f64 = xs.iter().map(|x| x).sum(); spawnling();";
+        let par = analyze_par(&lex(src).tokens);
+        assert!(par.reductions.is_empty());
+        assert!(par.par_mask.iter().all(|m| !m));
+    }
+
+    #[test]
+    fn spawn_body_is_marked() {
+        let src = "std::thread::spawn(move || { inside.lock() });";
+        let tokens = lex(src).tokens;
+        let par = analyze_par(&tokens);
+        let masked: Vec<&str> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| par.par_mask[*i] && t.kind == TokKind::Ident)
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"inside"), "{masked:?}");
+    }
+
+    #[test]
+    fn turbofish_sum_is_still_a_reduction() {
+        let src = "let e = xs.par_iter().map(|x| x).sum::<f64>();";
+        let par = analyze_par(&lex(src).tokens);
+        assert_eq!(par.reductions.len(), 1);
+    }
+}

@@ -1,19 +1,27 @@
-//! The rule catalog and the per-file token-stream pass.
+//! The rule catalog and the per-file pass.
 //!
 //! Every rule works on the lexed token stream (never raw text), so
 //! string literals and comments can not produce false positives, and
 //! every diagnostic carries a file:line:col location plus the rule id
-//! the allow mechanism keys on.
+//! the allow mechanism keys on. Test/loop context comes from the
+//! `parser` scope tree — one structural pass shared by all rules —
+//! and the parallel-safety rules (R001/R002) key on the parser's
+//! rayon-chain analysis. The interprocedural rule E001 lives in
+//! `callgraph`, not here: it needs the whole workspace.
 
 use crate::lexer::{Lexed, TokKind, Token};
+use crate::parser::{analyze_par, ScopeTree};
 
-/// A single rule's metadata (id + human rationale), used by
-/// `--list-rules` and kept in sync with DESIGN.md's catalog.
+/// A single rule's metadata, used by `--list-rules`/`--explain` and kept
+/// in sync with DESIGN.md's catalog.
 pub struct RuleInfo {
     /// Stable rule id (`D001`, `N002`, …).
     pub id: &'static str,
     /// One-line summary.
     pub summary: &'static str,
+    /// The longer rationale printed by `--explain <rule>`: why the
+    /// pattern is a defect here, and what to write instead.
+    pub detail: &'static str,
 }
 
 /// The shipped rule catalog.
@@ -22,58 +30,145 @@ pub const RULES: &[RuleInfo] = &[
         id: "D001",
         summary: "HashMap/HashSet in simulation crates (gridsim/md/smd/core): \
                   iteration order is nondeterministic; use BTreeMap/BTreeSet or a sorted Vec",
+        detail: "std's hash containers seed SipHash per process, so iteration order \
+                 differs between runs. Any fold, event dispatch, or output built by \
+                 iterating one silently changes results run-to-run — fatal for \
+                 bit-reproducible trajectories and the Jarzynski tail average. \
+                 Use BTreeMap/BTreeSet, or collect into a Vec and sort by a total key.",
     },
     RuleInfo {
         id: "D002",
         summary: "ambient entropy or wall-clock time (thread_rng, from_entropy, \
                   Instant::now, SystemTime) in simulation logic; seed explicitly instead",
+        detail: "thread_rng/from_entropy pull operating-system entropy and \
+                 Instant::now/SystemTime read the wall clock: both make a run a \
+                 function of when and where it executed. Simulation code must take \
+                 seeds and times as explicit parameters (the config carries a u64 \
+                 seed; telemetry's feature-gated clock is the one sanctioned reader). \
+                 The interprocedural escalation E001 also flags public fns that \
+                 reach these only through their callees.",
     },
     RuleInfo {
         id: "N001",
         summary: "NaN-unsafe ordering: partial_cmp(..).unwrap()/.expect(..); \
                   use f64::total_cmp for a deterministic total order",
+        detail: "partial_cmp returns None on NaN, so .unwrap() panics mid-analysis \
+                 and .expect() hides the misordering until it corrupts a sort. \
+                 f64::total_cmp is a total order (IEEE 754 totalOrder) that places \
+                 NaNs deterministically — use it in comparators, even in tests.",
     },
     RuleInfo {
         id: "N002",
         summary: "float == / != against a float literal in library code; \
                   compare with a tolerance or annotate the exact-sentinel intent",
+        detail: "Exact float equality against a literal is almost always a rounding \
+                 accident waiting to happen. Compare |a-b| against an explicit \
+                 tolerance, or — when the literal is a genuine sentinel (0.0 meaning \
+                 'unset') — keep the comparison and write an allow with that reason.",
     },
     RuleInfo {
         id: "P001",
         summary: "unwrap()/panic! in non-test library code without an allow \
                   annotation; use expect with an invariant message or return Result",
+        detail: "A bare unwrap/panic! aborts a multi-hour campaign with no context. \
+                 Return a typed error where the caller can act, use expect(\"why this \
+                 cannot fail\") where it truly cannot, or annotate the call site with \
+                 the invariant that protects it.",
     },
     RuleInfo {
         id: "P002",
         summary: "allocation or linear scan inside a gridsim loop body \
                   (.clone() / .iter().position(..)): the DES hot path must stay \
                   allocation-free and O(log n) — hoist, borrow, or maintain an index",
+        detail: "The grid DES processes millions of events; a .clone() or O(n) \
+                 .iter().position() inside a loop body multiplies into quadratic \
+                 time and allocator churn. Hoist the clone out of the loop, borrow, \
+                 or maintain an index map keyed by id.",
     },
     RuleInfo {
         id: "T001",
         summary: "println!/eprintln! (or print!/eprint!) in non-test library code: \
                   route output through return values or the telemetry layer; \
                   direct printing belongs to CLI mains and report paths only",
+        detail: "Library code that prints cannot be embedded, tested quietly, or \
+                 redirected. Return the text, or record through the telemetry layer; \
+                 CLI mains and report writers that legitimately print carry a \
+                 baseline entry or an annotated allow.",
+    },
+    RuleInfo {
+        id: "R001",
+        summary: "shared-state synchronization (Mutex/RwLock/RefCell/.lock()/\
+                  Ordering::Relaxed) inside a rayon closure or spawn body in a \
+                  simulation crate: lock-order and interleaving are nondeterministic",
+        detail: "A Mutex<f64> accumulator (or RwLock/RefCell/.lock()/relaxed atomic) \
+                 inside par_iter/par_chunks/spawn makes the result depend on \
+                 work-stealing interleaving: float additions reassociate in a \
+                 different order every run. Give each chunk its own scratch slot and \
+                 reduce serially in index order (see md::forces::nonbonded's \
+                 ChunkScratch), or move the state out of the parallel region. \
+                 Monotone gauges (progress counters never read back into results) \
+                 may keep a relaxed atomic behind an annotated allow.",
+    },
+    RuleInfo {
+        id: "R002",
+        summary: ".sum()/.reduce()/.fold()/.product() on a parallel iterator in a \
+                  simulation crate: float reduction order varies per run — use the \
+                  chunked-scratch serial reduction idiom",
+        detail: "Rayon's reductions combine partial results in work-stealing order, \
+                 so parallel float sums reassociate differently every run — results \
+                 drift at the ulp level and diverge chaotically over a trajectory. \
+                 The sanctioned idiom (md::forces::nonbonded): fill per-chunk \
+                 scratch buffers with for_each, then reduce the chunks serially in \
+                 index order. collect() into a Vec followed by a serial sum is also \
+                 fine — the rule stops at the first order-restoring consumer.",
+    },
+    RuleInfo {
+        id: "E001",
+        summary: "public fn transitively reaches ambient entropy/time \
+                  (thread_rng/from_entropy/Instant::now/SystemTime) through the \
+                  call graph; the diagnostic prints the propagation chain",
+        detail: "D002 sees only direct uses; E001 walks the workspace call graph \
+                 backwards from every entropy site and flags public fns that reach \
+                 one transitively — the boundary a caller trusts. The diagnostic \
+                 names the full chain (a::api -> a::helper -> b::roll) and the \
+                 originating site. Fix the leaf (thread the seed/clock as a \
+                 parameter) rather than allowing the boundary: one leaf fix clears \
+                 every chain through it.",
     },
     RuleInfo {
         id: "A001",
         summary: "malformed spice-lint directive (unknown form, bad rule id, \
                   or allow without a written reason)",
+        detail: "Allow directives are part of the audit trail: \
+                 `// spice-lint: allow(RULE) reason` with a real reason. A typo'd \
+                 rule id or a missing reason silently suppresses nothing (or \
+                 everything), so the malformed directive is itself a violation.",
     },
     RuleInfo {
         id: "A002",
-        summary: "stale allow: the directive or baseline entry suppresses nothing",
+        summary: "stale allow: the directive or baseline entry suppresses nothing \
+                  (including baseline entries whose file no longer exists)",
+        detail: "An allow that no longer matches a diagnostic — after a fix, a \
+                 rename, or a deleted file — is debt that hides future regressions. \
+                 Inline allows must fire on their own or the next line; baseline \
+                 entries must match at least one current diagnostic AND point at a \
+                 file that still exists in the workspace.",
     },
 ];
 
+/// Look up a rule's catalog entry by id (case-sensitive).
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
 /// Crate directories whose non-test code is a deterministic simulation
-/// path (rule D001's scope).
+/// path (rules D001/R001/R002's scope).
 const SIM_CRATES: &[&str] = &["gridsim", "md", "smd", "core"];
 
-/// Crate directories exempt from D002: benchmarks time things by design,
-/// and the telemetry crate is the one sanctioned wall-clock reader (its
-/// `Instant::now` lives behind the off-by-default `timing` feature so
-/// deterministic builds contain no clock reads).
+/// Crate directories exempt from D002/E001: benchmarks time things by
+/// design, and the telemetry crate is the one sanctioned wall-clock
+/// reader (its `Instant::now` lives behind the off-by-default `timing`
+/// feature so deterministic builds contain no clock reads).
 const ENTROPY_EXEMPT_CRATES: &[&str] = &["bench", "telemetry"];
 
 /// A rule violation before allow-filtering.
@@ -117,213 +212,54 @@ impl FileContext {
         }
     }
 
-    fn in_sim_crate(&self) -> bool {
+    /// True for the deterministic-simulation crates D001/R001/R002 guard.
+    pub fn in_sim_crate(&self) -> bool {
         self.crate_dir
             .as_deref()
             .is_some_and(|c| SIM_CRATES.contains(&c))
     }
 
-    fn entropy_exempt(&self) -> bool {
+    /// True for crates sanctioned to read entropy/clocks (bench,
+    /// telemetry) — exempt from D002 and never seeds/targets for E001.
+    pub fn entropy_exempt(&self) -> bool {
         self.crate_dir
             .as_deref()
             .is_some_and(|c| ENTROPY_EXEMPT_CRATES.contains(&c))
     }
 }
 
-/// Mark every token inside a `#[cfg(test)] mod … { … }` block. Inline
-/// test modules are the one place unwrap/exact-equality idioms are
-/// welcome, so the mask feeds the rules' test-context exemptions.
+/// Mark every token inside `#[cfg(test)]` modules and `#[test]` fns.
+/// Thin wrapper over the scope tree, kept for callers that only need
+/// the mask.
 pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if let Some(after_attr) = match_cfg_test_attr(tokens, i) {
-            if let Some((_open, close)) = find_mod_braces(tokens, after_attr) {
-                for m in mask.iter_mut().take(close + 1).skip(i) {
-                    *m = true;
-                }
-                i = close;
-            }
-        }
-        i += 1;
-    }
-    mask
+    ScopeTree::build(tokens).test_mask(tokens.len())
 }
 
-/// Mark every token inside the braces of a `loop`/`while`/`for` body.
-/// `for` is only a loop when an `in` appears at bracket depth 0 between
-/// the keyword and the body brace — that distinguishes `for x in xs {`
-/// from `impl Trait for Type {` and from `for<'a>` bounds. Rule P002
-/// keys on this mask: an allocation is hot exactly when a loop repeats
-/// it.
+/// Mark every token strictly inside a `loop`/`while`/`for` body.
+/// Thin wrapper over the scope tree.
 pub fn loop_body_mask(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    for (i, tok) in tokens.iter().enumerate() {
-        if tok.kind != TokKind::Ident {
-            continue;
-        }
-        let body_open = match tok.text.as_str() {
-            "loop" | "while" => find_body_brace(tokens, i + 1, false),
-            "for" => find_body_brace(tokens, i + 1, true),
-            _ => None,
-        };
-        if let Some(open) = body_open {
-            if let Some(close) = matching_brace(tokens, open) {
-                for m in mask.iter_mut().take(close).skip(open + 1) {
-                    *m = true;
-                }
-            }
-        }
-    }
-    mask
+    ScopeTree::build(tokens).loop_mask(tokens.len())
 }
 
-/// Scan from `j` for the loop-body `{` at paren/bracket/brace depth 0.
-/// With `require_in`, an `in` ident must appear at depth 0 first (the
-/// `for`-loop discriminator). Bails at a depth-0 `;` or `}` — whatever
-/// construct this was, it had no loop body.
-fn find_body_brace(tokens: &[Token], j: usize, require_in: bool) -> Option<usize> {
-    let mut saw_in = false;
-    let mut paren = 0usize;
-    let mut bracket = 0usize;
-    let mut brace = 0usize;
-    let limit = (j + 512).min(tokens.len());
-    for (k, tok) in tokens.iter().enumerate().take(limit).skip(j) {
-        let at_depth0 = paren == 0 && bracket == 0 && brace == 0;
-        match tok.kind {
-            TokKind::Punct('(') => paren += 1,
-            TokKind::Punct(')') => paren = paren.checked_sub(1)?,
-            TokKind::Punct('[') => bracket += 1,
-            TokKind::Punct(']') => bracket = bracket.checked_sub(1)?,
-            TokKind::Punct('{') if at_depth0 => {
-                return (!require_in || saw_in).then_some(k);
-            }
-            TokKind::Punct('{') => brace += 1,
-            TokKind::Punct('}') if at_depth0 => return None,
-            TokKind::Punct('}') => brace -= 1,
-            TokKind::Punct(';') if at_depth0 => return None,
-            TokKind::Ident if at_depth0 && tok.text == "in" => saw_in = true,
-            _ => {}
-        }
-    }
-    None
-}
+/// Sync primitives whose mere mention inside a parallel region is an
+/// R001 hit (type position or constructor — both mean shared state).
+const R001_TYPES: &[&str] = &["Mutex", "RwLock", "RefCell"];
 
-/// Index of the `}` matching the `{` at `open`.
-fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (k, tok) in tokens.iter().enumerate().skip(open) {
-        match tok.kind {
-            TokKind::Punct('{') => depth += 1,
-            TokKind::Punct('}') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(k);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Match `# [ cfg ( test ) ]` starting at `i`; return the index after
-/// the closing `]`.
-fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
-    let pat = [
-        TokKind::Punct('#'),
-        TokKind::Punct('['),
-        TokKind::Ident,
-        TokKind::Punct('('),
-        TokKind::Ident,
-        TokKind::Punct(')'),
-        TokKind::Punct(']'),
-    ];
-    if i + pat.len() > tokens.len() {
-        return None;
-    }
-    for (k, want) in pat.iter().enumerate() {
-        if tokens[i + k].kind != *want {
-            return None;
-        }
-    }
-    if tokens[i + 2].text != "cfg" || tokens[i + 4].text != "test" {
-        return None;
-    }
-    Some(i + pat.len())
-}
-
-/// From just after the cfg attribute, skip further attributes and
-/// visibility, require a `mod name {`, and return the indices of the
-/// opening and matching closing brace.
-fn find_mod_braces(tokens: &[Token], mut i: usize) -> Option<(usize, usize)> {
-    // Skip additional `#[...]` attributes (balanced brackets).
-    while i + 1 < tokens.len()
-        && tokens[i].kind == TokKind::Punct('#')
-        && tokens[i + 1].kind == TokKind::Punct('[')
-    {
-        let mut depth = 0usize;
-        i += 1;
-        while i < tokens.len() {
-            match tokens[i].kind {
-                TokKind::Punct('[') => depth += 1,
-                TokKind::Punct(']') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        i += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-    // Skip `pub`, `pub(crate)` etc.
-    if tokens.get(i).is_some_and(|t| t.text == "pub") {
-        i += 1;
-        if tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct('(')) {
-            while i < tokens.len() && tokens[i].kind != TokKind::Punct(')') {
-                i += 1;
-            }
-            i += 1;
-        }
-    }
-    if tokens.get(i).is_none_or(|t| t.text != "mod") {
-        return None;
-    }
-    i += 1; // mod name
-    i += 1;
-    if !tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct('{')) {
-        return None; // out-of-line `mod x;`
-    }
-    let open = i;
-    let mut depth = 0usize;
-    while i < tokens.len() {
-        match tokens[i].kind {
-            TokKind::Punct('{') => depth += 1,
-            TokKind::Punct('}') => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((open, i));
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    None
-}
-
-/// Run every rule over one lexed file.
+/// Run every per-file rule over one lexed file.
 pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
     let tokens = &lexed.tokens;
-    let mask = test_mask(tokens);
+    let tree = ScopeTree::build(tokens);
+    let mask = tree.test_mask(tokens.len());
     let in_gridsim = ctx.crate_dir.as_deref() == Some("gridsim");
     let loop_mask = if in_gridsim {
-        loop_body_mask(tokens)
+        tree.loop_mask(tokens.len())
     } else {
         Vec::new()
+    };
+    let par = if ctx.in_sim_crate() && !ctx.test_file {
+        analyze_par(tokens)
+    } else {
+        Default::default()
     };
     let mut out = Vec::new();
     // Token indices consumed by an N001 match, so the same `unwrap`
@@ -332,6 +268,7 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
 
     for (i, tok) in tokens.iter().enumerate() {
         let in_test = ctx.test_file || mask[i];
+        let in_par = par.par_mask.get(i).copied().unwrap_or(false);
         match tok.kind {
             TokKind::Ident => {
                 let name = tok.text.as_str();
@@ -364,6 +301,39 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
                                 "`{what}` injects ambient entropy/time into simulation \
                                  logic — thread seeds and clocks through explicit \
                                  parameters so runs are reproducible"
+                            ),
+                        });
+                    }
+                }
+                // R001 — shared-state synchronization inside a parallel
+                // region: Mutex/RwLock/RefCell mentions, `.lock()`/
+                // `.borrow_mut()` calls, and relaxed atomic orderings all
+                // make results interleaving-dependent.
+                if !in_test && in_par {
+                    let hit = if R001_TYPES.contains(&name) {
+                        Some(name.to_string())
+                    } else if (name == "lock" || name == "borrow_mut")
+                        && prev_is(tokens, i, TokKind::Punct('.'))
+                        && next_is(tokens, i, TokKind::Punct('('))
+                    {
+                        Some(format!(".{name}()"))
+                    } else if name == "Relaxed" {
+                        Some("Ordering::Relaxed".to_string())
+                    } else {
+                        None
+                    };
+                    if let Some(what) = hit {
+                        out.push(RawDiagnostic {
+                            rule: "R001",
+                            line: tok.line,
+                            col: tok.col,
+                            message: format!(
+                                "`{what}` inside a parallel closure: work-stealing \
+                                 interleaving makes shared-state updates \
+                                 order-nondeterministic — give each chunk its own \
+                                 scratch slot and reduce serially in index order \
+                                 (see md::forces::nonbonded), or hoist the state out \
+                                 of the parallel region"
                             ),
                         });
                     }
@@ -484,6 +454,27 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
             _ => {}
         }
     }
+    // R002 — order-sensitive reductions on still-parallel chains.
+    for &r in &par.reductions {
+        let tok = &tokens[r];
+        if mask.get(r).copied().unwrap_or(false) {
+            continue; // test context
+        }
+        out.push(RawDiagnostic {
+            rule: "R002",
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`.{}()` on a parallel iterator: rayon combines partial results in \
+                 work-stealing order, so float reductions reassociate differently \
+                 every run — fill per-chunk scratch with for_each and reduce \
+                 serially in index order (the md::forces::nonbonded idiom), or \
+                 collect() and sum serially",
+                tok.text
+            ),
+        });
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
 
@@ -675,6 +666,14 @@ mod tests {
     }
 
     #[test]
+    fn test_fn_attribute_exempts_outside_test_mod() {
+        // The scope tree (unlike the old mod-only mask) also exempts a
+        // bare `#[test] fn` at file scope.
+        let src = "#[test]\nfn t() { let x: Option<u32> = None; x.unwrap(); }";
+        assert!(run("crates/md/src/x.rs", src).is_empty());
+    }
+
+    #[test]
     fn t001_prints_in_lib_code_only() {
         assert_eq!(
             rules_fired(&run("crates/md/src/x.rs", "println!(\"{x}\");")),
@@ -745,6 +744,61 @@ mod tests {
             rules_fired(&run("crates/gridsim/src/x.rs", cond_closure)),
             ["P002"]
         );
+    }
+
+    #[test]
+    fn r001_sync_in_par_closure_sim_crates_only() {
+        let src = "xs.par_iter().for_each(|x| { *acc.lock().expect(\"ok\") += x; });";
+        assert_eq!(rules_fired(&run("crates/smd/src/x.rs", src)), ["R001"]);
+        // Outside a sim crate, or in a serial closure: no rule.
+        assert!(run("crates/steering/src/x.rs", src).is_empty());
+        let serial = "xs.iter().for_each(|x| { *acc.lock().expect(\"ok\") += x; });";
+        assert!(run("crates/smd/src/x.rs", serial).is_empty());
+    }
+
+    #[test]
+    fn r001_relaxed_atomic_and_mutex_type_in_par() {
+        let relaxed = "(0..n).into_par_iter().map(|i| { c.fetch_add(1, Ordering::Relaxed); i }).collect::<Vec<_>>();";
+        assert_eq!(rules_fired(&run("crates/smd/src/x.rs", relaxed)), ["R001"]);
+        let mutex = "xs.par_chunks(8).for_each(|c| { let m = Mutex::new(0.0); drop(m); });";
+        assert_eq!(rules_fired(&run("crates/md/src/x.rs", mutex)), ["R001"]);
+        // A Mutex outside the parallel region is not R001's business.
+        let outside = "let acc = Mutex::new(0.0); xs.par_iter().for_each(|x| { work(x); });";
+        assert!(run("crates/md/src/x.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn r002_parallel_float_reduction() {
+        let src = "let e: f64 = xs.par_iter().map(|x| x * x).sum();";
+        assert_eq!(rules_fired(&run("crates/md/src/x.rs", src)), ["R002"]);
+        let reduce = "let e = xs.par_iter().map(f).reduce(|| 0.0, |a, b| a + b);";
+        assert_eq!(rules_fired(&run("crates/md/src/x.rs", reduce)), ["R002"]);
+        // collect() restores order: the serial sum after it is fine.
+        let collected =
+            "let v: Vec<f64> = xs.par_iter().map(f).collect(); let e: f64 = v.iter().sum();";
+        assert!(run("crates/md/src/x.rs", collected).is_empty());
+        // The sanctioned idiom (for_each into scratch) never fires.
+        let idiom = "scratch.par_iter_mut().enumerate().for_each(|(c, s)| { fill(c, s); });";
+        assert!(run("crates/md/src/x.rs", idiom).is_empty());
+        // Serial sums and non-sim crates are out of scope.
+        assert!(run("crates/md/src/x.rs", "let e: f64 = xs.iter().sum();").is_empty());
+        assert!(run("crates/stats/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r_rules_silent_in_test_context() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { let e: f64 = xs.par_iter().map(|x| *acc.lock().expect(\"k\") + x).sum(); }\n}";
+        assert!(run("crates/md/src/x.rs", src).is_empty());
+        assert!(run("crates/md/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_info_lookup_covers_catalog() {
+        for r in RULES {
+            assert!(rule_info(r.id).is_some());
+            assert!(!r.detail.is_empty());
+        }
+        assert!(rule_info("Z999").is_none());
     }
 
     #[test]

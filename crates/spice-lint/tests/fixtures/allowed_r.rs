@@ -1,0 +1,13 @@
+// Annotated parallel-safety exceptions: each allow carries its reason,
+// so neither R rule (nor a stale-allow A002) may fire here.
+pub fn gauged(xs: &[f64], done: &AtomicUsize) {
+    xs.par_iter().for_each(|_x| {
+        // spice-lint: allow(R001) monotone progress gauge; value never feeds back into results
+        done.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+pub fn counted(xs: &[u64]) -> u64 {
+    // spice-lint: allow(R002) integer sum: addition is associative, order cannot change the result
+    xs.par_iter().sum()
+}

@@ -1,0 +1,14 @@
+// R001: a Mutex<f64> accumulator inside a par_iter closure makes the
+// float-addition order depend on work-stealing interleaving.
+pub fn energy(xs: &[f64], acc: &Mutex<f64>) {
+    xs.par_iter().for_each(|x| {
+        *acc.lock().expect("poisoned") += *x;
+    });
+}
+
+// Also bad: relaxed atomics inside a spawn body.
+pub fn counted(n: usize, hits: &AtomicUsize) {
+    spawn(move || {
+        hits.fetch_add(n, Ordering::Relaxed);
+    });
+}

@@ -1,0 +1,9 @@
+// R002: float reductions on a parallel iterator reassociate in
+// work-stealing order — results drift run to run.
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * x).sum()
+}
+
+pub fn reduced(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().reduce(|| 0.0, |a, b| a + b)
+}

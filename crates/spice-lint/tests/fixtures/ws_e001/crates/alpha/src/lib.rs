@@ -1,0 +1,28 @@
+//! Fixture crate `alpha`: reaches entropy only through `beta`.
+
+pub fn launch() {
+    mid();
+}
+
+fn mid() {
+    helper();
+}
+
+fn helper() {
+    spice_beta::deep_roll();
+}
+
+pub fn clean() {}
+
+// Shadowed name: this local `roll` is clean; `beta` also has a `roll`
+// (tainted). Same-module resolution must pick this one.
+fn roll() {}
+
+pub fn call_local_roll() {
+    roll();
+}
+
+// spice-lint: allow(E001) reproducibility audited: realization seeds threaded at the campaign layer
+pub fn audited() {
+    mid();
+}

@@ -1,0 +1,19 @@
+//! Fixture crate `beta`: owns the entropy site, behind a call cycle.
+
+pub fn deep_roll() {
+    spin();
+}
+
+fn spin() {
+    twirl();
+}
+
+fn twirl() {
+    spin(); // cycle: spin -> twirl -> spin
+    let _r = thread_rng();
+}
+
+// Direct entropy use: D002's territory, NOT E001's (distance zero).
+pub fn roll() {
+    let _r = thread_rng();
+}

@@ -1,0 +1,4 @@
+//! Fixture: a clean file, so the only diagnostic in this workspace is
+//! the stale baseline entry.
+
+pub fn nothing() {}

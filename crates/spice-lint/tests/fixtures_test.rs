@@ -80,6 +80,35 @@ fn t001_fires_on_prints_in_lib_code() {
 }
 
 #[test]
+fn r001_fires_on_sync_in_parallel_closures_in_sim_crates() {
+    let src = include_str!("fixtures/bad_r001.rs");
+    assert_eq!(
+        fired(&lint("crates/smd/src/bad.rs", src)),
+        [("R001", 5), ("R001", 12)]
+    );
+    // Outside a simulation crate, and in test trees: silent.
+    assert!(lint("crates/steering/src/bad.rs", src).is_empty());
+    assert!(lint("crates/smd/tests/bad.rs", src).is_empty());
+}
+
+#[test]
+fn r002_fires_on_parallel_float_reductions_in_sim_crates() {
+    let src = include_str!("fixtures/bad_r002.rs");
+    assert_eq!(
+        fired(&lint("crates/md/src/bad.rs", src)),
+        [("R002", 4), ("R002", 8)]
+    );
+    assert!(lint("crates/stats/src/bad.rs", src).is_empty());
+    assert!(lint("crates/md/benches/bad.rs", src).is_empty());
+}
+
+#[test]
+fn annotated_r_allows_suppress_without_going_stale() {
+    let src = include_str!("fixtures/allowed_r.rs");
+    assert!(fired(&lint("crates/smd/src/allowed.rs", src)).is_empty());
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     let src = include_str!("fixtures/clean.rs");
     assert!(fired(&lint("crates/gridsim/src/clean.rs", src)).is_empty());

@@ -130,9 +130,22 @@ impl<T> ParallelSlice<T> for [T] {
     }
 }
 
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(chunk_size),
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
     };
 }
 
@@ -223,6 +236,17 @@ mod tests {
             .map(|c| c.iter().sum::<u64>())
             .reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn chunks_mut_writes_in_place() {
+        let mut data = vec![0u64; 10];
+        data.par_chunks_mut(4).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c as u64;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
     }
 
     #[test]

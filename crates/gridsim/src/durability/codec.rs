@@ -1,0 +1,254 @@
+//! Hand-rolled little-endian binary codec for engine snapshots.
+//!
+//! Snapshots must round-trip *bit-exactly* — a restored campaign has to
+//! finish byte-identical to an uninterrupted one — so floats are stored
+//! as raw `to_bits()` words rather than going through any decimal
+//! formatting, and every field is fixed-width or length-prefixed. The
+//! format carries no self-description; the versioned header in
+//! [`crate::durability`] is what gates decoding against the right shape.
+
+use super::DurabilityError;
+
+/// FNV-1a 64-bit hash — the snapshot checksum. Not cryptographic; it
+/// exists to catch torn writes and bit rot loudly, not adversaries.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Raw IEEE-754 bits — the only lossless f64 representation.
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Unprefixed raw bytes (the header magic).
+    pub(crate) fn put_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Cursor-based decoder over a snapshot payload. Every read is
+/// bounds-checked; running off the end or hitting an invalid tag is a
+/// [`DurabilityError::Corrupt`], never a panic — a half-written snapshot
+/// must fail loudly and recoverably.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurabilityError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                DurabilityError::Corrupt(format!(
+                    "payload ends at byte {} but {n} more bytes were expected at offset {}",
+                    self.buf.len(),
+                    self.pos
+                ))
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8, DurabilityError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Unprefixed raw bytes (the header magic).
+    pub(crate) fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], DurabilityError> {
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take_bool(&mut self) -> Result<bool, DurabilityError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DurabilityError::Corrupt(format!(
+                "invalid bool byte {b:#04x}"
+            ))),
+        }
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Result<u32, DurabilityError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64, DurabilityError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub(crate) fn take_usize(&mut self) -> Result<usize, DurabilityError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| DurabilityError::Corrupt("length exceeds usize".to_string()))
+    }
+
+    /// A length prefix about to drive a `Vec` allocation: reject lengths
+    /// that cannot possibly fit in the remaining payload, so a corrupt
+    /// prefix fails as `Corrupt` instead of aborting on a huge alloc.
+    pub(crate) fn take_len(&mut self, min_elem_bytes: usize) -> Result<usize, DurabilityError> {
+        let n = self.take_usize()?;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+            return Err(DurabilityError::Corrupt(format!(
+                "length prefix {n} exceeds the {remaining} payload bytes remaining"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn take_f64(&mut self) -> Result<f64, DurabilityError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    pub(crate) fn take_str(&mut self) -> Result<String, DurabilityError> {
+        let n = self.take_len(1)?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| DurabilityError::Corrupt("string is not UTF-8".to_string()))
+    }
+
+    /// Assert the payload was consumed exactly — trailing garbage means
+    /// the payload length in the header lied about the content shape.
+    pub(crate) fn finish(self) -> Result<(), DurabilityError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DurabilityError::Corrupt(format!(
+                "{} trailing bytes after the decoded image",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_bit_exactly() {
+        let mut e = Enc::new();
+        e.put_u8(0xA5);
+        e.put_bool(true);
+        e.put_u32(u32::MAX - 7);
+        e.put_u64(0x0123_4567_89AB_CDEF);
+        e.put_f64(-0.0);
+        e.put_f64(1.0e-300);
+        e.put_f64(f64::MAX);
+        e.put_str("grid.campaign");
+        e.put_str("");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 0xA5);
+        assert!(d.take_bool().unwrap());
+        assert_eq!(d.take_u32().unwrap(), u32::MAX - 7);
+        assert_eq!(d.take_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(d.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.take_f64().unwrap(), 1.0e-300);
+        assert_eq!(d.take_f64().unwrap(), f64::MAX);
+        assert_eq!(d.take_str().unwrap(), "grid.campaign");
+        assert_eq!(d.take_str().unwrap(), "");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_fail_loudly() {
+        let mut e = Enc::new();
+        e.put_u64(42);
+        let bytes = e.into_bytes();
+        let mut short = Dec::new(&bytes[..5]);
+        assert!(matches!(short.take_u64(), Err(DurabilityError::Corrupt(_))));
+        let mut ok = Dec::new(&bytes);
+        ok.take_u32().unwrap();
+        assert!(matches!(ok.finish(), Err(DurabilityError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut e = Enc::new();
+        e.put_u64(u64::MAX / 2);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.take_len(16), Err(DurabilityError::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_bool_is_corrupt() {
+        let bytes = [7u8];
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.take_bool(), Err(DurabilityError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+        // Sensitivity: one flipped bit changes the sum.
+        assert_ne!(fnv1a(b"foobar"), fnv1a(b"foobas"));
+    }
+}

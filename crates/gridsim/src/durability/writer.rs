@@ -1,0 +1,181 @@
+//! Atomic snapshot files and generation management.
+//!
+//! Snapshots are named `ckpt-<generation 08d>.spice` and written via the
+//! classic temp-file + rename protocol: the payload lands in a `.tmp`
+//! sibling, is flushed to disk, and only then renamed over the final
+//! name. A crash at any byte therefore leaves either the previous
+//! generation set intact or a stray `.tmp` that recovery ignores — never
+//! a half-written `.spice` file under the real name. (Torn final files
+//! are still *handled* — the checksum rejects them — because this module
+//! also provides the corruption injectors the crash harness uses to
+//! simulate exactly that.)
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of generation `generation` under `dir`.
+pub(crate) fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("ckpt-{generation:08}.spice"))
+}
+
+/// Parse a generation number out of a `ckpt-<gen>.spice` file name.
+fn parse_generation(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".spice")?
+        .parse()
+        .ok()
+}
+
+/// Every snapshot generation in `dir`, ascending. Files that do not
+/// match the naming scheme (including abandoned `.tmp` files) are
+/// ignored.
+pub(crate) fn list_generations(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(generation) = entry.file_name().to_str().and_then(parse_generation) {
+            found.push((generation, entry.path()));
+        }
+    }
+    found.sort_unstable();
+    Ok(found)
+}
+
+/// Write `bytes` to `path` atomically: temp sibling, flush, rename.
+/// The temp name embeds the final file name, so concurrent campaigns in
+/// one directory (different generations) never collide.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "snapshot path has no name"))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        // spice-lint: allow(W001) this is the atomic-writer protocol itself: temp sibling + flush + rename
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Delete every snapshot except the newest `retain` generations.
+pub(crate) fn retain_newest(dir: &Path, retain: usize) -> io::Result<()> {
+    let generations = list_generations(dir)?;
+    if generations.len() > retain {
+        for (_, path) in &generations[..generations.len() - retain] {
+            fs::remove_file(path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Crash injector: truncate `path` to its first `keep_bytes` bytes — a
+/// torn write that beat the rename (or a filesystem that lied about the
+/// flush).
+pub(crate) fn truncate_file(path: &Path, keep_bytes: u64) -> io::Result<()> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep_bytes)?;
+    f.sync_all()
+}
+
+/// Crash injector: invert one byte of `path` in place — silent media
+/// corruption the checksum must catch.
+pub(crate) fn flip_byte(path: &Path, offset: u64) -> io::Result<()> {
+    let mut f = fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(&mut b)?;
+    b[0] ^= 0xFF;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)?;
+    f.sync_all()
+}
+
+/// Crash injector: delete the newest `n` snapshot generations — the
+/// stale-generation scenario where recovery must fall back to an older
+/// intact file.
+pub(crate) fn drop_newest(dir: &Path, n: u64) -> io::Result<()> {
+    let generations = list_generations(dir)?;
+    for (_, path) in generations.iter().rev().take(n as usize) {
+        fs::remove_file(path)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "spice_durability_writer_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("create scratch dir");
+        d
+    }
+
+    #[test]
+    fn generation_files_list_in_order_and_ignore_strays() {
+        let d = scratch_dir("list");
+        for generation in [3u64, 1, 20] {
+            atomic_write(&snapshot_path(&d, generation), b"payload").unwrap();
+        }
+        fs::write(d.join("ckpt-00000007.spice.tmp"), b"torn").unwrap();
+        fs::write(d.join("notes.txt"), b"x").unwrap();
+        let generations: Vec<u64> = list_generations(&d)
+            .unwrap()
+            .into_iter()
+            .map(|g| g.0)
+            .collect();
+        assert_eq!(generations, [1, 3, 20]);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_only_the_newest_k() {
+        let d = scratch_dir("retain");
+        for generation in 1..=5u64 {
+            atomic_write(&snapshot_path(&d, generation), b"p").unwrap();
+        }
+        retain_newest(&d, 2).unwrap();
+        let generations: Vec<u64> = list_generations(&d)
+            .unwrap()
+            .into_iter()
+            .map(|g| g.0)
+            .collect();
+        assert_eq!(generations, [4, 5]);
+        // Retaining more than exist is a no-op.
+        retain_newest(&d, 10).unwrap();
+        assert_eq!(list_generations(&d).unwrap().len(), 2);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_and_injectors_corrupt_in_place() {
+        let d = scratch_dir("inject");
+        let p = snapshot_path(&d, 1);
+        atomic_write(&p, &[0u8, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        assert!(list_generations(&d).unwrap().len() == 1);
+        assert!(
+            !d.join("ckpt-00000001.spice.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        truncate_file(&p, 3).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), [0, 1, 2]);
+        flip_byte(&p, 1).unwrap();
+        assert_eq!(fs::read(&p).unwrap(), [0, 0xFE, 2]);
+        atomic_write(&snapshot_path(&d, 2), b"x").unwrap();
+        drop_newest(&d, 1).unwrap();
+        let generations: Vec<u64> = list_generations(&d)
+            .unwrap()
+            .into_iter()
+            .map(|g| g.0)
+            .collect();
+        assert_eq!(generations, [1]);
+        fs::remove_dir_all(&d).unwrap();
+    }
+}

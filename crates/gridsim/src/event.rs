@@ -190,6 +190,67 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// A serializable image of an [`EventQueue`]: clock, counters, and every
+/// pending entry with its *original* FIFO sequence number, sorted in pop
+/// order `(time, seq)`. Restoring through [`EventQueue::from_image`]
+/// reproduces the exact pop sequence of the imaged queue — including
+/// same-time ties, which `schedule()` would renumber and so cannot
+/// rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct QueueImage<E> {
+    /// Clock of the last popped event (hours).
+    pub(crate) now: f64,
+    /// Next sequence number to assign.
+    pub(crate) seq: u64,
+    /// Lifetime high-water mark.
+    pub(crate) peak: usize,
+    /// `(time hours, entry seq, payload)` in pop order.
+    pub(crate) entries: Vec<(f64, u64, E)>,
+}
+
+impl<E: Clone> EventQueue<E> {
+    /// Capture the queue's full state. Entries come out sorted by
+    /// `(time, seq)` — the pop order — so two images of equal queues
+    /// compare equal even though the backing heap layout may differ.
+    pub(crate) fn image(&self) -> QueueImage<E> {
+        let mut entries: Vec<(f64, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.time.hours(), e.seq, e.payload.clone()))
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        QueueImage {
+            now: self.now.hours(),
+            seq: self.seq,
+            peak: self.peak,
+            entries,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Rebuild a queue from an [`QueueImage`], preserving every entry's
+    /// original sequence number, the clock, the sequence counter and the
+    /// peak — `schedule()` is bypassed entirely (it would renumber
+    /// entries and reject times at the restored clock's past).
+    pub(crate) fn from_image(img: QueueImage<E>) -> EventQueue<E> {
+        let mut heap = BinaryHeap::with_capacity(img.entries.len());
+        for (t, seq, payload) in img.entries {
+            heap.push(Entry {
+                time: SimTime::from_hours(t),
+                seq,
+                payload,
+            });
+        }
+        EventQueue {
+            heap,
+            seq: img.seq,
+            now: SimTime::from_hours(img.now),
+            peak: img.peak,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +323,49 @@ mod tests {
         q.schedule(SimTime::from_hours(9.0), 9);
         assert_eq!(q.peak_len(), 5, "peak never shrinks on pops");
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn image_round_trip_preserves_pop_order_and_counters() {
+        let mut q = EventQueue::new();
+        // Same-time ties plus distinct times, with some already popped so
+        // the clock and stale low seqs are exercised.
+        for i in 0..4 {
+            q.schedule(SimTime::from_hours(1.0), i);
+        }
+        q.schedule(SimTime::from_hours(0.5), 100);
+        q.schedule(SimTime::from_hours(2.0), 200);
+        q.pop(); // pops 100 @ 0.5, clock now 0.5
+
+        let img = q.image();
+        assert_eq!(img.now, 0.5);
+        assert_eq!(img.seq, 6);
+        assert_eq!(img.peak, 6);
+        let mut restored = EventQueue::from_image(img.clone());
+        assert_eq!(restored.now().hours(), 0.5);
+        assert_eq!(restored.len(), q.len());
+        assert_eq!(restored.peak_len(), q.peak_len());
+        let a: Vec<(f64, i32)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.hours(), e))).collect();
+        let b: Vec<(f64, i32)> =
+            std::iter::from_fn(|| restored.pop().map(|(t, e)| (t.hours(), e))).collect();
+        assert_eq!(a, b, "restored queue pops bit-identically, ties included");
+        assert_eq!(b, [(1.0, 0), (1.0, 1), (1.0, 2), (1.0, 3), (2.0, 200)]);
+
+        // An image of the restored queue equals the original image.
+        let q2 = EventQueue::from_image(img.clone());
+        assert_eq!(q2.image(), img);
+
+        // New scheduling after restore continues the FIFO counter.
+        let mut q3 = EventQueue::from_image(img);
+        q3.schedule(SimTime::from_hours(1.0), 999);
+        while let Some((t, e)) = q3.pop() {
+            if e == 999 {
+                assert_eq!(t.hours(), 1.0);
+                break;
+            }
+            assert!(e < 999, "pre-image entries pop before the new tie");
+        }
     }
 
     #[test]

@@ -35,6 +35,11 @@
 //!   is fully indexed (events carry dense indices, heap-backed site
 //!   schedulers, allocation-free dispatch) so campaigns of 10⁵–10⁶ jobs
 //!   replay in seconds.
+//! * [`durability`] — crash-safe checkpoint/restore of the resilient
+//!   engine: atomic generation-numbered snapshots of the live DES,
+//!   graceful recovery to the newest intact file, and a deterministic
+//!   crash-injection harness. A campaign killed at any event boundary
+//!   resumes bit-identically.
 //! * [`reference`] — the frozen pre-rework seed engine, kept as a
 //!   runtime oracle: equivalence tests replay campaigns through both
 //!   engines and require bit-identical results.
@@ -52,6 +57,7 @@
 pub mod audit;
 pub mod campaign;
 pub mod des;
+pub mod durability;
 pub mod event;
 pub mod failure;
 pub mod federation;
@@ -66,6 +72,10 @@ pub mod scheduler;
 pub mod trace;
 
 pub use campaign::{Campaign, CampaignResult};
+pub use durability::{
+    run_resilient_durable, CrashPlan, DurabilityError, DurableConfig, DurableOutcome,
+    RecoveryReport,
+};
 pub use event::{EventQueue, SimTime};
 pub use failure::{FailureEvent, FailureKind, FailureModel, Outage, OutageIndex};
 pub use federation::{Federation, Grid};

@@ -49,12 +49,14 @@
 
 use crate::campaign::{Campaign, CampaignResult};
 use crate::des::DispatchPolicy;
-use crate::event::{EventQueue, SimTime};
+use crate::durability::codec::{Dec, Enc};
+use crate::durability::DurabilityError;
+use crate::event::{EventQueue, QueueImage, SimTime};
 use crate::failure::{FailureEvent, FailureKind, FailureModel, OutageIndex};
 use crate::hidden_ip::steering_connectivity;
 use crate::job::{JobId, JobRecord};
 use crate::resource::SiteId;
-use crate::scheduler::fcfs::SiteScheduler;
+use crate::scheduler::fcfs::{SchedulerImage, SiteScheduler};
 use serde::{Deserialize, Serialize};
 use spice_stats::rng::{seed_stream, unit_f64};
 use spice_telemetry::{Counter, ProbePoint, Telemetry, Track};
@@ -339,8 +341,9 @@ pub struct EngineStats {
 
 /// DES event payload. Dense `u32` indices keep the payload at 16 bytes
 /// and make every lookup a direct array access — no id→index scans on
-/// the per-event path.
-#[derive(Debug)]
+/// the per-event path. `Copy` so the durability layer can image the
+/// event queue without draining it.
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
     /// A job (first submission or retry) enters the dispatcher.
     Submit(u32),
@@ -364,7 +367,7 @@ enum Ev {
     Poke,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct JobState {
     /// Current attempt, 1-based.
     attempt: u32,
@@ -407,7 +410,7 @@ impl JobState {
 /// the plain DES).
 const RESUBMIT_SALT: u64 = 0x5245_5355_424D_4954;
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     campaign: &'a Campaign,
     policy: &'a ResiliencePolicy,
     dispatch: DispatchPolicy,
@@ -483,7 +486,7 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(
+    pub(crate) fn new(
         campaign: &'a Campaign,
         policy: &'a ResiliencePolicy,
         dispatch: DispatchPolicy,
@@ -1181,8 +1184,12 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> (ResilientResult, EngineStats) {
-        let _campaign_span = self.campaign_track.span_at("grid.campaign", 0);
+    /// Open the campaign span and schedule the initial event population.
+    /// Called exactly once per campaign — a thawed engine must *not* call
+    /// it again (the restored queue and telemetry stream already contain
+    /// everything the prologue produces).
+    pub(crate) fn prologue(&mut self) {
+        self.campaign_track.enter_at("grid.campaign", 0);
         // Outage starts are scheduled before submissions so a site that
         // is down at t=0 is already down when the first dispatch runs.
         for oi in 0..self.campaign.outages.len() {
@@ -1196,44 +1203,68 @@ impl<'a> Engine<'a> {
                 self.pending_submits += 1;
             }
         }
+    }
 
-        loop {
-            self.drain_due_pokes();
-            let Some((t, (stamp, ev))) = self.q.pop() else {
-                break;
-            };
-            let now = t.hours();
-            self.phys_at.remove(&(now.to_bits(), stamp));
-            self.events_processed += 1;
-            if self.telemetry.is_enabled() {
-                let ticks = sim_ticks(now);
-                self.campaign_track.tick(ticks);
-                self.des_events.incr();
-                self.telemetry.probe(ProbePoint::DesEvent, ticks, now);
-            }
-            match ev {
-                Ev::Submit(ji) => self.handle_submit(ji as usize, now),
-                Ev::Finish { si, ji, attempt } => {
-                    self.handle_finish(si as usize, ji as usize, attempt, now);
-                }
-                Ev::Fail {
-                    si,
-                    ji,
-                    attempt,
-                    kind,
-                } => self.handle_fail(si as usize, ji as usize, attempt, kind, now),
-                Ev::OutageStart(oi) => self.handle_outage_start(oi as usize, now),
-                Ev::OutageEnd(si) => self.replay_pokes(si as usize, now, 1),
-                Ev::Poke => {
-                    // Wakeup marker: its chain steps drain from
-                    // `poke_pending` in stamp order around it; the pop
-                    // itself only releases the one-marker-per-time slot.
-                    self.poke_marked.remove(&now.to_bits());
-                }
-            }
-            #[cfg(feature = "audit")]
-            self.audit_job_conservation();
+    /// Drain due pokes, then resolve one physical event. Returns `false`
+    /// when the queue is exhausted and the campaign is complete. The
+    /// state between two `step` calls is an *event boundary*: everything
+    /// observable is a pure function of the engine fields, which is what
+    /// makes [`Engine::freeze`] at this point sufficient for bit-exact
+    /// resumption.
+    pub(crate) fn step(&mut self) -> bool {
+        self.drain_due_pokes();
+        let Some((t, (stamp, ev))) = self.q.pop() else {
+            return false;
+        };
+        let now = t.hours();
+        self.phys_at.remove(&(now.to_bits(), stamp));
+        self.events_processed += 1;
+        if self.telemetry.is_enabled() {
+            let ticks = sim_ticks(now);
+            self.campaign_track.tick(ticks);
+            self.des_events.incr();
+            self.telemetry.probe(ProbePoint::DesEvent, ticks, now);
         }
+        match ev {
+            Ev::Submit(ji) => self.handle_submit(ji as usize, now),
+            Ev::Finish { si, ji, attempt } => {
+                self.handle_finish(si as usize, ji as usize, attempt, now);
+            }
+            Ev::Fail {
+                si,
+                ji,
+                attempt,
+                kind,
+            } => self.handle_fail(si as usize, ji as usize, attempt, kind, now),
+            Ev::OutageStart(oi) => self.handle_outage_start(oi as usize, now),
+            Ev::OutageEnd(si) => self.replay_pokes(si as usize, now, 1),
+            Ev::Poke => {
+                // Wakeup marker: its chain steps drain from
+                // `poke_pending` in stamp order around it; the pop
+                // itself only releases the one-marker-per-time slot.
+                self.poke_marked.remove(&now.to_bits());
+            }
+        }
+        #[cfg(feature = "audit")]
+        self.audit_job_conservation();
+        true
+    }
+
+    /// Events resolved so far — the durability layer's checkpoint cadence
+    /// and crash-injection counter.
+    pub(crate) fn events(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn run(mut self) -> (ResilientResult, EngineStats) {
+        self.prologue();
+        while self.step() {}
+        self.epilogue()
+    }
+
+    /// Close out a finished replay: invariant checks, stats, gauges, the
+    /// campaign-span exit, and the assembled [`ResilientResult`].
+    pub(crate) fn epilogue(self) -> (ResilientResult, EngineStats) {
         debug_assert!(
             self.poke_pending.is_empty(),
             "pending pokes must all drain before the campaign ends"
@@ -1266,6 +1297,11 @@ impl<'a> Engine<'a> {
             self.telemetry
                 .set_gauge("grid.site_queue_peak", stats.site_queue_peak as f64);
         }
+        // Close the span prologue() opened. The exit stamp is the track
+        // clock (the last event's tick) — exactly what the old RAII guard
+        // recorded when it dropped at the end of the replay.
+        self.campaign_track
+            .exit_at("grid.campaign", self.campaign_track.clock());
 
         let goodput: f64 = self
             .states
@@ -1302,6 +1338,543 @@ impl<'a> Engine<'a> {
             total_retries: self.total_retries,
         };
         (result, stats)
+    }
+
+    /// Capture the complete evolving state of the replay at an event
+    /// boundary (between two [`Engine::step`] calls). Everything *not*
+    /// in the image — site indexes, outage windows, connectivity tables,
+    /// the fit cache, scratch buffers, telemetry handles — is a pure
+    /// function of the campaign/policy/dispatch inputs and is rebuilt by
+    /// [`Engine::new`] inside [`Engine::thaw`].
+    pub(crate) fn freeze(&self) -> EngineImage {
+        EngineImage {
+            states: self.states.clone(),
+            records: self.records.clone(),
+            failures: self.failures.clone(),
+            abandoned: self.abandoned.clone(),
+            jobs_per_site: self.jobs_per_site.clone(),
+            backlog_cpu_h: self.backlog_cpu_h.clone(),
+            rr_cursor: self.rr_cursor,
+            total_retries: self.total_retries,
+            queue: self.q.image(),
+            vseq: self.vseq,
+            poke_pending: self.poke_pending.iter().map(|(&k, &v)| (k, v)).collect(),
+            poke_marked: self.poke_marked.iter().copied().collect(),
+            phys_at: self.phys_at.iter().copied().collect(),
+            events_processed: self.events_processed,
+            schedulers: self.schedulers.iter().map(SiteScheduler::image).collect(),
+        }
+    }
+
+    /// Rebuild a mid-campaign engine from an [`EngineImage`]. The
+    /// campaign, policy and dispatch must be the ones the image was
+    /// frozen from (the durability layer enforces this with a
+    /// configuration fingerprint). A thawed engine must *not* run
+    /// [`Engine::prologue`] — the restored queue already holds the
+    /// initial event population's unpopped remainder.
+    pub(crate) fn thaw(
+        campaign: &'a Campaign,
+        policy: &'a ResiliencePolicy,
+        dispatch: DispatchPolicy,
+        telemetry: &Telemetry,
+        img: EngineImage,
+    ) -> Engine<'a> {
+        assert_eq!(
+            img.states.len(),
+            campaign.jobs.len(),
+            "snapshot job count does not match the campaign"
+        );
+        assert_eq!(
+            img.schedulers.len(),
+            campaign.federation.sites.len(),
+            "snapshot site count does not match the federation"
+        );
+        let mut e = Engine::new(campaign, policy, dispatch, telemetry);
+        e.states = img.states;
+        e.records = img.records;
+        e.failures = img.failures;
+        e.abandoned = img.abandoned;
+        e.jobs_per_site = img.jobs_per_site;
+        e.backlog_cpu_h = img.backlog_cpu_h;
+        e.rr_cursor = img.rr_cursor;
+        e.total_retries = img.total_retries;
+        e.q = EventQueue::from_image(img.queue);
+        e.vseq = img.vseq;
+        e.poke_pending = img.poke_pending.into_iter().collect();
+        e.poke_marked = img.poke_marked.into_iter().collect();
+        e.phys_at = img.phys_at.into_iter().collect();
+        e.events_processed = img.events_processed;
+        e.schedulers = img
+            .schedulers
+            .iter()
+            .map(SiteScheduler::from_image)
+            .collect();
+        // The audit ledger is derivable, so it is recomputed rather than
+        // serialized — snapshot bytes are identical with and without the
+        // audit feature.
+        #[cfg(feature = "audit")]
+        {
+            let queued: usize = e.schedulers.iter().map(SiteScheduler::queued).sum();
+            let running = e.states.iter().filter(|s| s.running.is_some()).count();
+            let done = e.states.iter().filter(|s| s.done).count();
+            let abandoned = e.states.iter().filter(|s| s.abandoned).count();
+            e.pending_submits = e.campaign.jobs.len() - (queued + running + done + abandoned);
+            e.audit_job_conservation();
+        }
+        e
+    }
+}
+
+fn failure_kind_tag(kind: FailureKind) -> u8 {
+    match kind {
+        FailureKind::LaunchFailure => 0,
+        FailureKind::NodeCrash => 1,
+        FailureKind::GatewayDrop => 2,
+        FailureKind::OutageKill => 3,
+    }
+}
+
+fn failure_kind_from(tag: u8) -> Result<FailureKind, DurabilityError> {
+    Ok(match tag {
+        0 => FailureKind::LaunchFailure,
+        1 => FailureKind::NodeCrash,
+        2 => FailureKind::GatewayDrop,
+        3 => FailureKind::OutageKill,
+        t => {
+            return Err(DurabilityError::Corrupt(format!(
+                "invalid failure-kind tag {t}"
+            )))
+        }
+    })
+}
+
+fn encode_ev(e: &mut Enc, ev: Ev) {
+    match ev {
+        Ev::Submit(ji) => {
+            e.put_u8(0);
+            e.put_u32(ji);
+        }
+        Ev::Finish { si, ji, attempt } => {
+            e.put_u8(1);
+            e.put_u32(si);
+            e.put_u32(ji);
+            e.put_u32(attempt);
+        }
+        Ev::Fail {
+            si,
+            ji,
+            attempt,
+            kind,
+        } => {
+            e.put_u8(2);
+            e.put_u32(si);
+            e.put_u32(ji);
+            e.put_u32(attempt);
+            e.put_u8(failure_kind_tag(kind));
+        }
+        Ev::OutageStart(oi) => {
+            e.put_u8(3);
+            e.put_u32(oi);
+        }
+        Ev::OutageEnd(si) => {
+            e.put_u8(4);
+            e.put_u32(si);
+        }
+        Ev::Poke => e.put_u8(5),
+    }
+}
+
+fn decode_ev(d: &mut Dec<'_>) -> Result<Ev, DurabilityError> {
+    Ok(match d.take_u8()? {
+        0 => Ev::Submit(d.take_u32()?),
+        1 => Ev::Finish {
+            si: d.take_u32()?,
+            ji: d.take_u32()?,
+            attempt: d.take_u32()?,
+        },
+        2 => Ev::Fail {
+            si: d.take_u32()?,
+            ji: d.take_u32()?,
+            attempt: d.take_u32()?,
+            kind: failure_kind_from(d.take_u8()?)?,
+        },
+        3 => Ev::OutageStart(d.take_u32()?),
+        4 => Ev::OutageEnd(d.take_u32()?),
+        5 => Ev::Poke,
+        t => return Err(DurabilityError::Corrupt(format!("invalid event tag {t}"))),
+    })
+}
+
+fn encode_opt_f64(e: &mut Enc, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            e.put_u8(1);
+            e.put_f64(x);
+        }
+        None => e.put_u8(0),
+    }
+}
+
+fn decode_opt_f64(d: &mut Dec<'_>) -> Result<Option<f64>, DurabilityError> {
+    Ok(match d.take_u8()? {
+        0 => None,
+        1 => Some(d.take_f64()?),
+        t => return Err(DurabilityError::Corrupt(format!("invalid option tag {t}"))),
+    })
+}
+
+fn encode_scheduler(e: &mut Enc, s: &SchedulerImage) {
+    e.put_u32(s.capacity);
+    e.put_u32(s.free);
+    e.put_u32(s.used);
+    e.put_u64(s.seq);
+    e.put_usize(s.eligible.len());
+    for &(seq, ji, procs) in &s.eligible {
+        e.put_u64(seq);
+        e.put_u32(ji);
+        e.put_u32(procs);
+    }
+    e.put_usize(s.pending.len());
+    for &(seq, ji, procs) in &s.pending {
+        e.put_u64(seq);
+        e.put_u32(ji);
+        e.put_u32(procs);
+    }
+    e.put_usize(s.promote.len());
+    for &(t, seq) in &s.promote {
+        e.put_f64(t);
+        e.put_u64(seq);
+    }
+    e.put_usize(s.ready.len());
+    for &(t, seq) in &s.ready {
+        e.put_f64(t);
+        e.put_u64(seq);
+    }
+    e.put_usize(s.run_order.len());
+    for &(ji, procs, start_seq) in &s.run_order {
+        e.put_u32(ji);
+        e.put_u32(procs);
+        e.put_u64(start_seq);
+    }
+    e.put_usize(s.finish.len());
+    for &(t, start_seq, ji) in &s.finish {
+        e.put_f64(t);
+        e.put_u64(start_seq);
+        e.put_u32(ji);
+    }
+    e.put_u64(s.start_seq);
+    encode_opt_f64(e, s.down_until);
+    e.put_usize(s.peak_queued);
+}
+
+fn decode_scheduler(d: &mut Dec<'_>) -> Result<SchedulerImage, DurabilityError> {
+    let capacity = d.take_u32()?;
+    let free = d.take_u32()?;
+    let used = d.take_u32()?;
+    let seq = d.take_u64()?;
+    let mut eligible = Vec::with_capacity(d.take_len(16)?);
+    for _ in 0..eligible.capacity() {
+        eligible.push((d.take_u64()?, d.take_u32()?, d.take_u32()?));
+    }
+    let mut pending = Vec::with_capacity(d.take_len(16)?);
+    for _ in 0..pending.capacity() {
+        pending.push((d.take_u64()?, d.take_u32()?, d.take_u32()?));
+    }
+    let mut promote = Vec::with_capacity(d.take_len(16)?);
+    for _ in 0..promote.capacity() {
+        promote.push((d.take_f64()?, d.take_u64()?));
+    }
+    let mut ready = Vec::with_capacity(d.take_len(16)?);
+    for _ in 0..ready.capacity() {
+        ready.push((d.take_f64()?, d.take_u64()?));
+    }
+    let mut run_order = Vec::with_capacity(d.take_len(16)?);
+    for _ in 0..run_order.capacity() {
+        run_order.push((d.take_u32()?, d.take_u32()?, d.take_u64()?));
+    }
+    let mut finish = Vec::with_capacity(d.take_len(20)?);
+    for _ in 0..finish.capacity() {
+        finish.push((d.take_f64()?, d.take_u64()?, d.take_u32()?));
+    }
+    Ok(SchedulerImage {
+        capacity,
+        free,
+        used,
+        seq,
+        eligible,
+        pending,
+        promote,
+        ready,
+        run_order,
+        finish,
+        start_seq: d.take_u64()?,
+        down_until: decode_opt_f64(d)?,
+        peak_queued: d.take_usize()?,
+    })
+}
+
+/// The serializable evolving state of a resilient replay, produced by
+/// [`Engine::freeze`] and consumed by [`Engine::thaw`]. Field order in
+/// [`EngineImage::encode`] *is* the on-disk payload layout — any change
+/// to it must bump the snapshot format version in [`crate::durability`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EngineImage {
+    states: Vec<JobState>,
+    records: Vec<JobRecord>,
+    failures: Vec<FailureEvent>,
+    abandoned: Vec<JobId>,
+    jobs_per_site: Vec<usize>,
+    backlog_cpu_h: Vec<f64>,
+    rr_cursor: usize,
+    total_retries: u32,
+    queue: QueueImage<(u64, Ev)>,
+    vseq: u64,
+    poke_pending: Vec<((u64, u64), (u32, u32))>,
+    poke_marked: Vec<u64>,
+    phys_at: Vec<(u64, u64)>,
+    events_processed: u64,
+    schedulers: Vec<SchedulerImage>,
+}
+
+impl EngineImage {
+    /// Events resolved at the moment of the freeze — names the snapshot's
+    /// generation.
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Append the image to `e` in the fixed payload layout.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        e.put_usize(self.states.len());
+        for st in &self.states {
+            e.put_u32(st.attempt);
+            e.put_f64(st.remaining);
+            e.put_f64(st.consumed_ref_cpu_h);
+            e.put_f64(st.backlog_contrib);
+            e.put_usize(st.site_failures.len());
+            for &(si, n) in &st.site_failures {
+                e.put_u32(si);
+                e.put_u32(n);
+            }
+            match st.running {
+                Some((si, start)) => {
+                    e.put_u8(1);
+                    e.put_usize(si);
+                    e.put_f64(start);
+                }
+                None => e.put_u8(0),
+            }
+            match st.last_site {
+                Some(si) => {
+                    e.put_u8(1);
+                    e.put_usize(si);
+                }
+                None => e.put_u8(0),
+            }
+            e.put_bool(st.done);
+            e.put_bool(st.abandoned);
+        }
+        e.put_usize(self.records.len());
+        for r in &self.records {
+            e.put_u32(r.job);
+            e.put_u32(r.site);
+            e.put_f64(r.submitted);
+            e.put_f64(r.started);
+            e.put_f64(r.finished);
+            e.put_u32(r.procs);
+            e.put_u32(r.attempts);
+            e.put_f64(r.lost_cpu_hours);
+        }
+        e.put_usize(self.failures.len());
+        for f in &self.failures {
+            e.put_u32(f.job);
+            e.put_u32(f.site);
+            e.put_u32(f.attempt);
+            e.put_f64(f.time);
+            e.put_u8(failure_kind_tag(f.kind));
+            e.put_f64(f.lost_cpu_hours);
+            e.put_f64(f.saved_hours);
+        }
+        e.put_usize(self.abandoned.len());
+        for &j in &self.abandoned {
+            e.put_u32(j);
+        }
+        e.put_usize(self.jobs_per_site.len());
+        for &n in &self.jobs_per_site {
+            e.put_usize(n);
+        }
+        e.put_usize(self.backlog_cpu_h.len());
+        for &b in &self.backlog_cpu_h {
+            e.put_f64(b);
+        }
+        e.put_usize(self.rr_cursor);
+        e.put_u32(self.total_retries);
+        e.put_f64(self.queue.now);
+        e.put_u64(self.queue.seq);
+        e.put_usize(self.queue.peak);
+        e.put_usize(self.queue.entries.len());
+        for &(t, seq, (stamp, ev)) in &self.queue.entries {
+            e.put_f64(t);
+            e.put_u64(seq);
+            e.put_u64(stamp);
+            encode_ev(e, ev);
+        }
+        e.put_u64(self.vseq);
+        e.put_usize(self.poke_pending.len());
+        for &((t_bits, first), (si, count)) in &self.poke_pending {
+            e.put_u64(t_bits);
+            e.put_u64(first);
+            e.put_u32(si);
+            e.put_u32(count);
+        }
+        e.put_usize(self.poke_marked.len());
+        for &t_bits in &self.poke_marked {
+            e.put_u64(t_bits);
+        }
+        e.put_usize(self.phys_at.len());
+        for &(t_bits, stamp) in &self.phys_at {
+            e.put_u64(t_bits);
+            e.put_u64(stamp);
+        }
+        e.put_u64(self.events_processed);
+        e.put_usize(self.schedulers.len());
+        for s in &self.schedulers {
+            encode_scheduler(e, s);
+        }
+    }
+
+    /// Decode an image from the fixed payload layout. Every structural
+    /// violation is a [`DurabilityError::Corrupt`].
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<EngineImage, DurabilityError> {
+        let mut states = Vec::with_capacity(d.take_len(40)?);
+        for _ in 0..states.capacity() {
+            let attempt = d.take_u32()?;
+            let remaining = d.take_f64()?;
+            let consumed_ref_cpu_h = d.take_f64()?;
+            let backlog_contrib = d.take_f64()?;
+            let mut site_failures = Vec::with_capacity(d.take_len(8)?);
+            for _ in 0..site_failures.capacity() {
+                site_failures.push((d.take_u32()?, d.take_u32()?));
+            }
+            let running = match d.take_u8()? {
+                0 => None,
+                1 => Some((d.take_usize()?, d.take_f64()?)),
+                t => return Err(DurabilityError::Corrupt(format!("invalid running tag {t}"))),
+            };
+            let last_site = match d.take_u8()? {
+                0 => None,
+                1 => Some(d.take_usize()?),
+                t => {
+                    return Err(DurabilityError::Corrupt(format!(
+                        "invalid last-site tag {t}"
+                    )))
+                }
+            };
+            states.push(JobState {
+                attempt,
+                remaining,
+                consumed_ref_cpu_h,
+                backlog_contrib,
+                site_failures,
+                running,
+                last_site,
+                done: d.take_bool()?,
+                abandoned: d.take_bool()?,
+            });
+        }
+        let mut records = Vec::with_capacity(d.take_len(44)?);
+        for _ in 0..records.capacity() {
+            records.push(JobRecord {
+                job: d.take_u32()?,
+                site: d.take_u32()?,
+                submitted: d.take_f64()?,
+                started: d.take_f64()?,
+                finished: d.take_f64()?,
+                procs: d.take_u32()?,
+                attempts: d.take_u32()?,
+                lost_cpu_hours: d.take_f64()?,
+            });
+        }
+        let mut failures = Vec::with_capacity(d.take_len(37)?);
+        for _ in 0..failures.capacity() {
+            failures.push(FailureEvent {
+                job: d.take_u32()?,
+                site: d.take_u32()?,
+                attempt: d.take_u32()?,
+                time: d.take_f64()?,
+                kind: failure_kind_from(d.take_u8()?)?,
+                lost_cpu_hours: d.take_f64()?,
+                saved_hours: d.take_f64()?,
+            });
+        }
+        let mut abandoned = Vec::with_capacity(d.take_len(4)?);
+        for _ in 0..abandoned.capacity() {
+            abandoned.push(d.take_u32()?);
+        }
+        let mut jobs_per_site = Vec::with_capacity(d.take_len(8)?);
+        for _ in 0..jobs_per_site.capacity() {
+            jobs_per_site.push(d.take_usize()?);
+        }
+        let mut backlog_cpu_h = Vec::with_capacity(d.take_len(8)?);
+        for _ in 0..backlog_cpu_h.capacity() {
+            backlog_cpu_h.push(d.take_f64()?);
+        }
+        let rr_cursor = d.take_usize()?;
+        let total_retries = d.take_u32()?;
+        let q_now = d.take_f64()?;
+        let q_seq = d.take_u64()?;
+        let q_peak = d.take_usize()?;
+        let mut entries = Vec::with_capacity(d.take_len(25)?);
+        for _ in 0..entries.capacity() {
+            let t = d.take_f64()?;
+            let seq = d.take_u64()?;
+            let stamp = d.take_u64()?;
+            entries.push((t, seq, (stamp, decode_ev(d)?)));
+        }
+        let queue = QueueImage {
+            now: q_now,
+            seq: q_seq,
+            peak: q_peak,
+            entries,
+        };
+        let vseq = d.take_u64()?;
+        let mut poke_pending = Vec::with_capacity(d.take_len(24)?);
+        for _ in 0..poke_pending.capacity() {
+            poke_pending.push((
+                (d.take_u64()?, d.take_u64()?),
+                (d.take_u32()?, d.take_u32()?),
+            ));
+        }
+        let mut poke_marked = Vec::with_capacity(d.take_len(8)?);
+        for _ in 0..poke_marked.capacity() {
+            poke_marked.push(d.take_u64()?);
+        }
+        let mut phys_at = Vec::with_capacity(d.take_len(16)?);
+        for _ in 0..phys_at.capacity() {
+            phys_at.push((d.take_u64()?, d.take_u64()?));
+        }
+        let events_processed = d.take_u64()?;
+        let mut schedulers = Vec::with_capacity(d.take_len(33)?);
+        for _ in 0..schedulers.capacity() {
+            schedulers.push(decode_scheduler(d)?);
+        }
+        Ok(EngineImage {
+            states,
+            records,
+            failures,
+            abandoned,
+            jobs_per_site,
+            backlog_cpu_h,
+            rr_cursor,
+            total_retries,
+            queue,
+            vseq,
+            poke_pending,
+            poke_marked,
+            phys_at,
+            events_processed,
+            schedulers,
+        })
     }
 }
 
@@ -1576,6 +2149,64 @@ mod tests {
             for s in sites {
                 assert_eq!(s, rec.site, "naive retry migrated job {}", rec.job);
             }
+        }
+    }
+
+    #[test]
+    fn freeze_thaw_resumes_bit_identically_at_every_boundary_class() {
+        // Freeze at a spread of event indices (early, mid, late), thaw
+        // into a fresh engine and finish: results must be bit-identical
+        // to the uninterrupted run — the acceptance property the whole
+        // durability layer rests on.
+        let mut c = Campaign::paper_batch_phase(5);
+        c.outages = vec![Outage::security_breach(3, 24.0, 2.0)];
+        let policy = ResiliencePolicy::checkpoint_failover();
+        let t = Telemetry::disabled();
+        let (baseline, base_stats) =
+            run_resilient_with_stats(&c, &policy, DispatchPolicy::EarliestCompletion, &t);
+        for kill_at in [1u64, 7, 100, 1000] {
+            let mut live = Engine::new(&c, &policy, DispatchPolicy::EarliestCompletion, &t);
+            live.prologue();
+            while live.events() < kill_at && live.step() {}
+            let img = live.freeze();
+            drop(live);
+            let mut resumed =
+                Engine::thaw(&c, &policy, DispatchPolicy::EarliestCompletion, &t, img);
+            while resumed.step() {}
+            let (result, stats) = resumed.epilogue();
+            assert_eq!(result, baseline, "diverged after thaw at event {kill_at}");
+            assert_eq!(stats, base_stats, "stats diverged at event {kill_at}");
+        }
+    }
+
+    #[test]
+    fn engine_image_codec_round_trips_mid_campaign_state() {
+        let mut c = Campaign::paper_batch_phase(17);
+        c.outages = vec![Outage::security_breach(3, 24.0, 2.0)];
+        let policy = ResiliencePolicy::retry_only();
+        let t = Telemetry::disabled();
+        let mut e = Engine::new(&c, &policy, DispatchPolicy::RoundRobin, &t);
+        e.prologue();
+        for _ in 0..150 {
+            assert!(e.step(), "campaign ended before the freeze point");
+        }
+        let img = e.freeze();
+        let mut enc = Enc::new();
+        img.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = EngineImage::decode(&mut dec).expect("decode freshly encoded image");
+        dec.finish().expect("image consumes its payload exactly");
+        assert_eq!(back, img);
+        // Encoding is a pure function of the image: re-encoding the
+        // decoded image reproduces the bytes.
+        let mut enc2 = Enc::new();
+        back.encode(&mut enc2);
+        assert_eq!(enc2.into_bytes(), bytes);
+        // Truncated payloads fail loudly, never panic.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut short = Dec::new(&bytes[..cut]);
+            assert!(EngineImage::decode(&mut short).is_err());
         }
     }
 }

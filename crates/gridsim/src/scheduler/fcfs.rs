@@ -342,6 +342,141 @@ impl SiteScheduler {
     pub fn peak_queued(&self) -> usize {
         self.peak_queued
     }
+
+    /// Capture the scheduler's full state for an engine checkpoint.
+    /// Heap contents come out sorted by key (their pop order) so equal
+    /// schedulers produce byte-equal images regardless of internal heap
+    /// layout; `run_order` is preserved verbatim because
+    /// [`SiteScheduler::kill_running`] ordering depends on it.
+    pub(crate) fn image(&self) -> SchedulerImage {
+        let queued_list = |m: &BTreeMap<u64, Queued>| -> Vec<(u64, u32, u32)> {
+            m.iter().map(|(&s, q)| (s, q.job_id, q.procs)).collect()
+        };
+        let heap_keys = |h: &BinaryHeap<Reverse<(SimTime, u64)>>| -> Vec<(f64, u64)> {
+            let mut v: Vec<(f64, u64)> = h.iter().map(|&Reverse((t, s))| (t.hours(), s)).collect();
+            v.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            v
+        };
+        let mut finish: Vec<(f64, u64, u32)> = self
+            .finish_heap
+            .iter()
+            .map(|&Reverse((t, s, j))| (t.hours(), s, j))
+            .collect();
+        finish.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then((a.1, a.2).cmp(&(b.1, b.2))));
+        SchedulerImage {
+            capacity: self.capacity,
+            free: self.free,
+            used: self.used,
+            seq: self.seq,
+            eligible: queued_list(&self.eligible),
+            pending: queued_list(&self.pending),
+            promote: heap_keys(&self.promote),
+            ready: heap_keys(&self.ready_heap),
+            run_order: self
+                .run_order
+                .iter()
+                .map(|r| (r.job_id, r.procs, r.start_seq))
+                .collect(),
+            finish,
+            start_seq: self.start_seq,
+            down_until: self.down_until,
+            peak_queued: self.peak_queued,
+        }
+    }
+
+    /// Rebuild a scheduler from an image. The derived indices
+    /// (`eligible_procs` width multiset, `run_index`) are recomputed;
+    /// everything observable — start order, kill order, next finish/ready,
+    /// free-proc counts — is bit-identical to the imaged scheduler.
+    pub(crate) fn from_image(img: &SchedulerImage) -> SiteScheduler {
+        let queued_map = |list: &[(u64, u32, u32)]| -> BTreeMap<u64, Queued> {
+            list.iter()
+                .map(|&(seq, job_id, procs)| (seq, Queued { job_id, procs }))
+                .collect()
+        };
+        let eligible = queued_map(&img.eligible);
+        let mut eligible_procs: BTreeMap<u32, u32> = BTreeMap::new();
+        for q in eligible.values() {
+            *eligible_procs.entry(q.procs).or_insert(0) += 1;
+        }
+        let run_order: Vec<Running> = img
+            .run_order
+            .iter()
+            .map(|&(job_id, procs, start_seq)| Running {
+                job_id,
+                procs,
+                start_seq,
+            })
+            .collect();
+        let run_index = run_order
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.job_id, i))
+            .collect();
+        SiteScheduler {
+            capacity: img.capacity,
+            free: img.free,
+            used: img.used,
+            seq: img.seq,
+            eligible,
+            pending: queued_map(&img.pending),
+            promote: img
+                .promote
+                .iter()
+                .map(|&(t, s)| Reverse((SimTime::from_hours(t), s)))
+                .collect(),
+            ready_heap: img
+                .ready
+                .iter()
+                .map(|&(t, s)| Reverse((SimTime::from_hours(t), s)))
+                .collect(),
+            eligible_procs,
+            run_order,
+            run_index,
+            finish_heap: img
+                .finish
+                .iter()
+                .map(|&(t, s, j)| Reverse((SimTime::from_hours(t), s, j)))
+                .collect(),
+            start_seq: img.start_seq,
+            down_until: img.down_until,
+            peak_queued: img.peak_queued,
+        }
+    }
+}
+
+/// Serializable state of one [`SiteScheduler`] (see
+/// [`SiteScheduler::image`]). Plain tuples only, so the durability codec
+/// can write it without reaching into scheduler internals.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SchedulerImage {
+    /// Total processors.
+    pub(crate) capacity: u32,
+    /// Free processors.
+    pub(crate) free: u32,
+    /// Processors in use.
+    pub(crate) used: u32,
+    /// Next submission sequence number.
+    pub(crate) seq: u64,
+    /// Eligible queue: `(seq, job_id, procs)` ascending by seq.
+    pub(crate) eligible: Vec<(u64, u32, u32)>,
+    /// Pending queue: `(seq, job_id, procs)` ascending by seq.
+    pub(crate) pending: Vec<(u64, u32, u32)>,
+    /// Promotion-heap keys `(ready, seq)` in pop order.
+    pub(crate) promote: Vec<(f64, u64)>,
+    /// Ready-heap keys `(ready, seq)` in pop order (stale entries kept —
+    /// lazy pruning is part of the observable peek behaviour).
+    pub(crate) ready: Vec<(f64, u64)>,
+    /// Running set `(job_id, procs, start_seq)` in exact Vec order.
+    pub(crate) run_order: Vec<(u32, u32, u64)>,
+    /// Finish-heap keys `(finish, start_seq, job_id)` in pop order.
+    pub(crate) finish: Vec<(f64, u64, u32)>,
+    /// Next start sequence number.
+    pub(crate) start_seq: u64,
+    /// Outage end, if the site is down.
+    pub(crate) down_until: Option<f64>,
+    /// Lifetime queued-count high-water mark.
+    pub(crate) peak_queued: usize,
 }
 
 #[cfg(test)]
@@ -512,6 +647,42 @@ mod tests {
         s.evict_queued();
         assert_eq!(s.peak_queued(), 5);
         assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn image_round_trip_is_observably_identical() {
+        // Build a scheduler mid-flight: running jobs (one preempted, so a
+        // stale finish-heap entry exists), eligible + pending queued
+        // entries, an outage window, and history in every counter.
+        let mut s = SiteScheduler::new(100);
+        s.submit(1, 40, 0.0);
+        s.submit(2, 30, 0.0);
+        s.submit(3, 50, 2.0); // pending until t=2
+        s.submit(4, 10, 0.0);
+        start(&mut s, 0.0, |id| 5.0 + f64::from(id));
+        s.preempt(2); // leaves a stale (2, …) finish entry behind
+        s.submit(2, 30, 1.0);
+        s.set_down_until(0.5);
+
+        let img = s.image();
+        let mut r = SiteScheduler::from_image(&img);
+        assert_eq!(r.image(), img, "image(from_image(img)) == img");
+        assert_eq!(r.free_procs(), s.free_procs());
+        assert_eq!(r.queued(), s.queued());
+        assert_eq!(r.running(), s.running());
+        assert_eq!(r.peak_queued(), s.peak_queued());
+        assert_eq!(r.next_finish(), s.next_finish());
+        assert_eq!(r.next_ready(), s.next_ready());
+
+        // Drive both replicas forward identically: starts, finishes and
+        // kill order must match exactly.
+        for now in [1.0, 2.0, 4.0] {
+            let a = start(&mut s, now, |id| 3.0 + f64::from(id % 2));
+            let b = start(&mut r, now, |id| 3.0 + f64::from(id % 2));
+            assert_eq!(a, b, "start order diverged at t={now}");
+        }
+        assert_eq!(s.kill_running(), r.kill_running(), "kill order diverged");
+        assert_eq!(s.evict_queued(), r.evict_queued());
     }
 
     /// Differential pin against the legacy full-scan semantics: a

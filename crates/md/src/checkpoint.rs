@@ -17,9 +17,24 @@ use crate::MdError;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
+/// Schema version stamped into every snapshot this build writes and
+/// required of every snapshot it reads. Bump on any change to the
+/// serialized [`Snapshot`] shape.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Version-probe deserialization target: reads *only* the schema field,
+/// tolerating its absence, so version checking happens before (and
+/// independently of) full structural deserialization.
+#[derive(Deserialize)]
+struct SchemaProbe {
+    schema: Option<u32>,
+}
+
 /// A serializable simulation snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct Snapshot {
+    /// Snapshot schema version (see [`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema: u32,
     /// Step counter at capture time.
     pub step: u64,
     /// Simulation time (ps) at capture time.
@@ -34,6 +49,7 @@ impl Snapshot {
     /// Capture the state of a running simulation.
     pub fn capture(sim: &Simulation, label: impl Into<String>) -> Self {
         Snapshot {
+            schema: SNAPSHOT_SCHEMA_VERSION,
             step: sim.step_count(),
             time_ps: sim.time_ps(),
             system: sim.system().clone(),
@@ -63,14 +79,47 @@ impl Snapshot {
     }
 
     /// Deserialize from JSON out of any reader.
-    pub fn read_json<R: Read>(r: R) -> Result<Snapshot, MdError> {
-        serde_json::from_reader(r).map_err(Into::into)
+    ///
+    /// # Errors
+    /// [`MdError::CheckpointVersion`] when the snapshot was written
+    /// under a different schema version (or predates versioning —
+    /// reported as version 0); [`MdError::Checkpoint`] for structural
+    /// corruption.
+    pub fn read_json<R: Read>(mut r: R) -> Result<Snapshot, MdError> {
+        let mut raw = String::new();
+        r.read_to_string(&mut raw)?;
+        // Two-stage read: probe the schema version first so a version
+        // mismatch is reported as exactly that, not as whatever field
+        // the newer/older shape happens to trip over first.
+        let probe: SchemaProbe = serde_json::from_str(&raw)?;
+        match probe.schema {
+            Some(SNAPSHOT_SCHEMA_VERSION) => {}
+            other => {
+                return Err(MdError::CheckpointVersion {
+                    found: other.unwrap_or(0),
+                    supported: SNAPSHOT_SCHEMA_VERSION,
+                })
+            }
+        }
+        serde_json::from_str(&raw).map_err(Into::into)
     }
 
-    /// Save to a file.
+    /// Save to a file atomically: the JSON lands in a temp sibling and
+    /// is renamed into place, so a crash mid-save never leaves a torn
+    /// snapshot under the real name.
     pub fn save(&self, path: &std::path::Path) -> Result<(), MdError> {
-        let f = std::fs::File::create(path)?;
-        self.write_json(std::io::BufWriter::new(f))
+        let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+            MdError::Checkpoint(format!("snapshot path {} has no file name", path.display()))
+        })?;
+        let tmp = path.with_file_name(format!("{file_name}.tmp"));
+        {
+            // spice-lint: allow(W001) this is the atomic-writer protocol itself: temp sibling + rename
+            let f = std::fs::File::create(&tmp)?;
+            let mut w = std::io::BufWriter::new(f);
+            self.write_json(&mut w)?;
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path).map_err(Into::into)
     }
 
     /// Load from a file.
@@ -161,6 +210,44 @@ mod tests {
             0.01,
         );
         assert!(snap.restore(&mut other).is_err());
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_a_distinct_error() {
+        let sim = make_sim(9);
+        let mut snap = Snapshot::capture(&sim, "versioned");
+        assert_eq!(snap.schema, SNAPSHOT_SCHEMA_VERSION);
+        // A snapshot from a future build.
+        snap.schema = SNAPSHOT_SCHEMA_VERSION + 7;
+        let mut buf = Vec::new();
+        snap.write_json(&mut buf).unwrap();
+        match Snapshot::read_json(&buf[..]) {
+            Err(MdError::CheckpointVersion { found, supported }) => {
+                assert_eq!(found, SNAPSHOT_SCHEMA_VERSION + 7);
+                assert_eq!(supported, SNAPSHOT_SCHEMA_VERSION);
+            }
+            other => panic!("expected a version error, got {other:?}"),
+        }
+        // A pre-versioning snapshot (no schema field at all) reports
+        // version 0 — the probe runs before structural deserialization,
+        // so even this skeletal document gets the right error.
+        match Snapshot::read_json(&b"{\"step\": 120}"[..]) {
+            Err(MdError::CheckpointVersion { found: 0, .. }) => {}
+            other => panic!("expected version-0 error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("spice_ckpt_atomic_{}.json", std::process::id()));
+        let tmp = dir.join(format!("spice_ckpt_atomic_{}.json.tmp", std::process::id()));
+        let sim = make_sim(2);
+        let snap = Snapshot::capture(&sim, "atomic");
+        snap.save(&path).unwrap();
+        assert!(!tmp.exists(), "temp sibling must be renamed away");
+        assert_eq!(Snapshot::load(&path).unwrap(), snap);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

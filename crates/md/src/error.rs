@@ -23,6 +23,16 @@ pub enum MdError {
     },
     /// Checkpoint (de)serialization failure.
     Checkpoint(String),
+    /// A checkpoint written under a different snapshot schema version —
+    /// distinct from generic corruption so campaign tooling can tell
+    /// "upgrade your snapshot" apart from "your disk ate it".
+    CheckpointVersion {
+        /// Schema version recorded in the file (0 = none recorded, i.e.
+        /// a pre-versioning snapshot).
+        found: u32,
+        /// Schema version this build reads and writes.
+        supported: u32,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -38,6 +48,10 @@ impl fmt::Display for MdError {
                 write!(f, "numerical blow-up at step {step}: {what}")
             }
             MdError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            MdError::CheckpointVersion { found, supported } => write!(
+                f,
+                "checkpoint schema version {found} (this build supports {supported})"
+            ),
             MdError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

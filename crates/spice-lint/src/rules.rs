@@ -96,6 +96,21 @@ pub const RULES: &[RuleInfo] = &[
                  baseline entry or an annotated allow.",
     },
     RuleInfo {
+        id: "W001",
+        summary: "direct File::create / fs::write in simulation-crate library code: \
+                  checkpoint and artifact files must go through an atomic writer \
+                  (temp sibling + flush + rename)",
+        detail: "A process killed mid-write leaves a torn file under the real name, \
+                 and the durability layer will (rightly) refuse to load it — but a \
+                 torn *snapshot* costs the campaign its newest restore point, and a \
+                 torn artifact corrupts the record silently. Simulation crates write \
+                 durable files only through the atomic-writer protocol \
+                 (gridsim::durability's writer, md checkpoint's save): create a temp \
+                 sibling, write, flush, then rename into place. The sanctioned \
+                 writer internals carry an annotated allow; everything else should \
+                 call them.",
+    },
+    RuleInfo {
         id: "R001",
         summary: "shared-state synchronization (Mutex/RwLock/RefCell/.lock()/\
                   Ordering::Relaxed) inside a rayon closure or spawn body in a \
@@ -413,6 +428,30 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
                         });
                     }
                 }
+                // W001 — raw durable-file writes in simulation crates.
+                // The atomic-writer internals themselves carry allows.
+                if !in_test && ctx.in_sim_crate() {
+                    let hit = if name == "File" && is_path_call(tokens, i, "create") {
+                        Some("File::create")
+                    } else if name == "fs" && is_path_call(tokens, i, "write") {
+                        Some("fs::write")
+                    } else {
+                        None
+                    };
+                    if let Some(what) = hit {
+                        out.push(RawDiagnostic {
+                            rule: "W001",
+                            line: tok.line,
+                            col: tok.col,
+                            message: format!(
+                                "`{what}` writes a file directly in a simulation crate: \
+                                 a crash mid-write leaves a torn file under the real \
+                                 name — route it through the atomic writer (temp \
+                                 sibling + flush + rename)"
+                            ),
+                        });
+                    }
+                }
                 // T001 — stray stdout/stderr prints in non-test code.
                 // Intentional CLI entry points and report paths carry an
                 // allow annotation or a baseline entry.
@@ -693,6 +732,25 @@ mod tests {
         );
         // A `println` ident without the macro bang is something else.
         assert!(run("crates/md/src/x.rs", "let println = 3; println == 4;").is_empty());
+    }
+
+    #[test]
+    fn w001_raw_file_writes_in_sim_crates_only() {
+        let create = "let f = fs::File::create(&tmp)?;";
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/durability/x.rs", create)),
+            ["W001"]
+        );
+        let write = "std::fs::write(&path, bytes)?;";
+        assert_eq!(rules_fired(&run("crates/md/src/x.rs", write)), ["W001"]);
+        // Tests, benches, and non-sim crates write files freely.
+        assert!(run("crates/gridsim/tests/t.rs", create).is_empty());
+        assert!(run("crates/bench/benches/b.rs", write).is_empty());
+        assert!(run("crates/steering/src/x.rs", write).is_empty());
+        // Neither a plain method named `write` nor a `File` type
+        // annotation is a raw file write.
+        assert!(run("crates/md/src/x.rs", "w.write(buf)?;").is_empty());
+        assert!(run("crates/md/src/x.rs", "fn f(f: File) {}").is_empty());
     }
 
     #[test]

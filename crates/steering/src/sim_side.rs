@@ -88,6 +88,7 @@ impl SteeringHook {
             }
             ControlMessage::Checkpoint { label } => {
                 let snap = Snapshot {
+                    schema: spice_md::checkpoint::SNAPSHOT_SCHEMA_VERSION,
                     step: ctx.step,
                     time_ps: ctx.time_ps,
                     system: ctx.system.clone(),

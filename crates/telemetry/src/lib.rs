@@ -33,7 +33,7 @@ pub mod span;
 
 pub use probe::{ProbePoint, ProbeSample};
 pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry};
-pub use span::{EventKind, SpanEvent, SpanGuard, Track, TrackSnapshot};
+pub use span::{intern, EventKind, SpanEvent, SpanGuard, Track, TrackSnapshot};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -170,6 +170,26 @@ impl Telemetry {
         }
     }
 
+    /// Restore one exported metric value into this handle — the metric
+    /// half of checkpoint restore. Counters and histograms *merge* (add
+    /// onto whatever the handle already holds; a freshly `enabled()`
+    /// handle holds zero, so the merge is an exact restore); gauges are
+    /// last-value-wins and simply set. No-op when disabled.
+    pub fn import_metric(&self, name: &str, value: &MetricValue) {
+        if self.inner.is_none() {
+            return;
+        }
+        match value {
+            MetricValue::Counter(v) => self.counter(name).add(*v),
+            MetricValue::Gauge(v) => self.set_gauge(name, *v),
+            MetricValue::Histogram {
+                bounds,
+                counts,
+                sum,
+            } => self.histogram(name, bounds).merge_counts(counts, *sum),
+        }
+    }
+
     /// Deterministic snapshot of every track and metric.
     pub fn snapshot(&self) -> Snapshot {
         match &self.inner {
@@ -261,6 +281,31 @@ mod tests {
         t.probe(ProbePoint::ForceEval, 100, 0.0); // no handler at this point
         t.probe(ProbePoint::DesEvent, 7, 0.0);
         assert_eq!(hits.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn import_metric_round_trips_every_metric_kind() {
+        let a = Telemetry::enabled();
+        a.counter("c").add(17);
+        a.set_gauge("g", -2.5);
+        let h = a.histogram("h", &[1.0, 10.0]);
+        for v in [0.5, 5.0, 99.0] {
+            h.observe(v);
+        }
+        let snap = a.snapshot();
+
+        let b = Telemetry::enabled();
+        for (name, value) in &snap.metrics {
+            b.import_metric(name, value);
+        }
+        assert_eq!(b.snapshot().metrics, snap.metrics);
+
+        // Disabled handles ignore imports.
+        let d = Telemetry::disabled();
+        for (name, value) in &snap.metrics {
+            d.import_metric(name, value);
+        }
+        assert!(d.snapshot().metrics.is_empty());
     }
 
     #[test]

@@ -141,6 +141,19 @@ impl Histogram {
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Merge previously exported state back in — used by checkpoint
+    /// restore to continue a histogram exactly where a snapshot left it.
+    /// `counts` shorter or longer than the bucket list is truncated to
+    /// the overlap; the caller is expected to recreate the histogram with
+    /// the snapshot's own bounds so the shapes match.
+    pub fn merge_counts(&self, counts: &[u64], sum: f64) {
+        for (bucket, &n) in self.inner.counts.iter().zip(counts) {
+            bucket.fetch_add(n, Ordering::Relaxed);
+            self.inner.total.fetch_add(n, Ordering::Relaxed);
+        }
+        *self.inner.sum.lock().expect("histogram sum poisoned") += sum;
+    }
 }
 
 enum Metric {

@@ -6,8 +6,29 @@
 //! caller (MD step, DES sim-time tick); the track enforces monotonicity
 //! so an exporter can always reconstruct a well-formed span tree.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Intern a string, returning a `&'static str` that compares equal to
+/// every other interned copy of the same text.
+///
+/// Span and instant names are `&'static str` so live recording never
+/// allocates; a checkpoint restore, however, reads names back out of a
+/// serialized snapshot as owned strings. Interning gives those names the
+/// required `'static` lifetime while deduplicating, so restoring the
+/// same campaign any number of times leaks each distinct name at most
+/// once per process.
+pub fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().expect("intern pool poisoned");
+    if let Some(&hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
 
 /// What one recorded event is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +210,23 @@ impl Track {
             s.push(EventKind::Instant, name, logical, attrs);
         }
     }
+
+    /// Append one recorded event verbatim — used by checkpoint restore
+    /// to replay a serialized [`TrackSnapshot`] into a fresh track.
+    /// Recorded streams are already monotone, so the clock clamp is a
+    /// no-op and the stream continues bit-identically from where the
+    /// snapshot left it.
+    pub fn import_event(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        logical: u64,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        if let Some(s) = &self.state {
+            s.push(kind, name, logical, attrs);
+        }
+    }
 }
 
 /// RAII span guard returned by [`Track::span`]; records the matching
@@ -348,6 +386,44 @@ mod tests {
             }],
         };
         assert!(bad.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn intern_deduplicates_and_outlives() {
+        let a = intern("checkpoint.phase");
+        let b = intern(&String::from("checkpoint.phase"));
+        assert!(std::ptr::eq(a, b), "same text interns to the same slice");
+        assert_eq!(a, "checkpoint.phase");
+    }
+
+    #[test]
+    fn import_replays_a_snapshot_bit_identically() {
+        let original = live_track();
+        {
+            let _g = original.span_at("run", 3);
+            original.instant_at("mark", 7, vec![("k", "v".to_string())]);
+            original.tick(9);
+        }
+        let snap = original.state.as_ref().unwrap().snapshot();
+
+        let restored = live_track();
+        for e in &snap.events {
+            restored.import_event(e.kind, e.name, e.logical, e.attrs.clone());
+        }
+        let rsnap = restored.state.as_ref().unwrap().snapshot();
+        assert_eq!(rsnap.events.len(), snap.events.len());
+        for (a, b) in snap.events.iter().zip(&rsnap.events) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.logical, b.logical);
+            assert_eq!(a.attrs, b.attrs);
+        }
+        assert_eq!(
+            restored.clock(),
+            snap.events.last().unwrap().logical,
+            "clock resumes at the last imported stamp"
+        );
+        rsnap.check_well_formed().unwrap();
     }
 
     #[test]

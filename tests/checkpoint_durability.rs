@@ -2,14 +2,17 @@
 //! failure story (§V-C-4) depends on snapshots surviving a process, not
 //! just a function call.
 
+mod common;
+
+use common::TempDir;
 use spice::core::config::Scale;
 use spice::core::pipeline::pore_simulation;
-use spice::md::checkpoint::Snapshot;
+use spice::md::checkpoint::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
+use spice::md::MdError;
 
 #[test]
 fn checkpoint_survives_disk_roundtrip_and_resumes_exactly() {
-    let dir = std::env::temp_dir().join(format!("spice_ckpt_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = TempDir::new("md_ckpt_roundtrip");
     let path = dir.join("mid-campaign.json");
 
     // Run, checkpoint to disk, keep running → trajectory A.
@@ -26,6 +29,7 @@ fn checkpoint_survives_disk_roundtrip_and_resumes_exactly() {
     let loaded = Snapshot::load(&path).unwrap();
     assert_eq!(loaded.label, "mid-campaign");
     assert_eq!(loaded.step, 120);
+    assert_eq!(loaded.schema, SNAPSHOT_SCHEMA_VERSION);
     let mut resumed = pore_simulation(Scale::Test, 77);
     loaded.restore(&mut resumed).unwrap();
     resumed.run(200, &mut []).unwrap();
@@ -39,7 +43,16 @@ fn checkpoint_survives_disk_roundtrip_and_resumes_exactly() {
     std::fs::write(&path, b"{ not json").unwrap();
     assert!(Snapshot::load(&path).is_err());
 
-    let _ = std::fs::remove_dir_all(&dir);
+    // A snapshot from a different schema generation fails with the
+    // *version* error, not generic corruption.
+    std::fs::write(&path, b"{\"step\": 120, \"label\": \"old\"}").unwrap();
+    assert!(matches!(
+        Snapshot::load(&path),
+        Err(MdError::CheckpointVersion {
+            found: 0,
+            supported: SNAPSHOT_SCHEMA_VERSION,
+        })
+    ));
 }
 
 #[test]

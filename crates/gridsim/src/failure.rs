@@ -109,6 +109,39 @@ impl FailureKind {
             FailureKind::OutageKill => "outage-kill",
         }
     }
+
+    /// Per-kind failure counter name (`grid.failures.<label>`). Static
+    /// so the registry export is a closed, diff-able vocabulary
+    /// (spice-lint M001) — same strings the `format!` call sites used
+    /// to build.
+    pub fn failures_counter(&self) -> &'static str {
+        match self {
+            FailureKind::LaunchFailure => "grid.failures.launch-fail",
+            FailureKind::NodeCrash => "grid.failures.node-crash",
+            FailureKind::GatewayDrop => "grid.failures.gateway-drop",
+            FailureKind::OutageKill => "grid.failures.outage-kill",
+        }
+    }
+
+    /// Per-kind loss-event counter name (`grid.loss_events.<label>`).
+    pub fn loss_events_counter(&self) -> &'static str {
+        match self {
+            FailureKind::LaunchFailure => "grid.loss_events.launch-fail",
+            FailureKind::NodeCrash => "grid.loss_events.node-crash",
+            FailureKind::GatewayDrop => "grid.loss_events.gateway-drop",
+            FailureKind::OutageKill => "grid.loss_events.outage-kill",
+        }
+    }
+
+    /// Per-kind lost-CPU-hours gauge name (`grid.lost_cpu_hours.<label>`).
+    pub fn lost_cpu_hours_gauge(&self) -> &'static str {
+        match self {
+            FailureKind::LaunchFailure => "grid.lost_cpu_hours.launch-fail",
+            FailureKind::NodeCrash => "grid.lost_cpu_hours.node-crash",
+            FailureKind::GatewayDrop => "grid.lost_cpu_hours.gateway-drop",
+            FailureKind::OutageKill => "grid.lost_cpu_hours.outage-kill",
+        }
+    }
 }
 
 /// One failed attempt, as logged by the resilience engine.

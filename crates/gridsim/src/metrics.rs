@@ -78,9 +78,8 @@ pub fn resilience_summary_traced(
     t.set_gauge("grid.retries_per_job", summary.3);
     t.set_gauge("grid.completion_fraction", summary.4);
     for (kind, events, lost) in loss_by_kind(result) {
-        t.counter(&format!("grid.loss_events.{}", kind.label()))
-            .add(events as u64);
-        t.set_gauge(&format!("grid.lost_cpu_hours.{}", kind.label()), lost);
+        t.counter(kind.loss_events_counter()).add(events as u64);
+        t.set_gauge(kind.lost_cpu_hours_gauge(), lost);
     }
     summary
 }

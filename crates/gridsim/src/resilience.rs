@@ -959,9 +959,7 @@ impl<'a> Engine<'a> {
                 ],
             );
             self.telemetry.counter("grid.failures").incr();
-            self.telemetry
-                .counter(&format!("grid.failures.{}", kind.label()))
-                .incr();
+            self.telemetry.counter(kind.failures_counter()).incr();
             if saved > 0.0 {
                 track.instant_at(
                     "grid.checkpoint_restore",

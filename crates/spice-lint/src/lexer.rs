@@ -38,8 +38,10 @@ pub enum TokKind {
 pub struct Token {
     /// What kind of token this is.
     pub kind: TokKind,
-    /// The token text (empty for string literals — rules never need
-    /// their contents, and skipping the copy keeps the pass cheap).
+    /// The token text. Plain `"…"` string literals carry their body
+    /// (escapes unexpanded, quotes stripped) so M001 can validate metric
+    /// names; raw/byte literals and numbers stay empty — no rule reads
+    /// them, and skipping the copy keeps the pass cheap.
     pub text: String,
     /// 1-indexed source line.
     pub line: u32,
@@ -160,10 +162,17 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             b'"' => {
+                // Keep the body (escapes unexpanded, quotes stripped) so
+                // rules that validate literal *contents* — M001's metric
+                // name check — can read it. Raw/byte literals below stay
+                // empty-texted; registry names are always plain strings.
+                let start = cur.pos + 1;
                 lex_string(&mut cur);
+                let end = cur.pos.saturating_sub(1).max(start);
                 out.tokens.push(Token {
                     kind: TokKind::Str,
-                    text: String::new(),
+                    text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())])
+                        .into_owned(),
                     line,
                     col,
                 });
@@ -505,6 +514,22 @@ mod tests {
         // Plain byte strings and hashless raw strings still work.
         assert_eq!(idents(r#"b"bytes with unwrap()" tail"#), ["tail"]);
         assert_eq!(idents(r##"r#"raw with unwrap()"# tail"##), ["tail"]);
+    }
+
+    #[test]
+    fn plain_string_bodies_are_captured() {
+        let toks = lex(r#"t.counter("grid.jobs"); let s = "A \"q\" B";"#).tokens;
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        // Bodies come back quote-stripped with escapes unexpanded.
+        assert_eq!(strs, ["grid.jobs", r#"A \"q\" B"#]);
+        // Raw/byte literals stay empty-texted (M001 skips them).
+        let raw = lex(r##"r#"grid.raw"#"##).tokens;
+        assert_eq!(raw[0].kind, TokKind::Str);
+        assert!(raw[0].text.is_empty());
     }
 
     #[test]

@@ -96,6 +96,25 @@ pub const RULES: &[RuleInfo] = &[
                  baseline entry or an annotated allow.",
     },
     RuleInfo {
+        id: "M001",
+        summary: "telemetry span/metric name built with format! (or a string \
+                  literal that is not lowercase dot-separated) in a \
+                  simulation/steering crate: use a static literal like \
+                  \"grid.attempt\" or a named constant",
+        detail: "The registry export is diffed byte-for-byte across runs and \
+                 machines (spice-trace diff), and the obs layer groups spans \
+                 and sections reports by name prefix — so names must be a \
+                 closed, stable vocabulary. A format!-built name mints an \
+                 unbounded family (one metric per job id) that explodes the \
+                 registry and defeats prefix grouping; a MixedCase or spaced \
+                 literal breaks the dot-path convention every consumer keys \
+                 on. Name each series with a lowercase dot-separated literal \
+                 ([a-z0-9_-] segments), hoist per-kind families into a match \
+                 returning &'static str (see FailureKind::failures_counter), \
+                 and put variable detail in attrs or track keys — never the \
+                 name.",
+    },
+    RuleInfo {
         id: "W001",
         summary: "direct File::create / fs::write in simulation-crate library code: \
                   checkpoint and artifact files must go through an atomic writer \
@@ -180,6 +199,27 @@ pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
 /// path (rules D001/R001/R002's scope).
 const SIM_CRATES: &[&str] = &["gridsim", "md", "smd", "core"];
 
+/// Crates whose telemetry names M001 polices: the simulation crates plus
+/// steering (the remote-control layer owns the `steering.*` namespace).
+const M001_CRATES: &[&str] = &["gridsim", "md", "smd", "core", "steering"];
+
+/// Telemetry registry/track methods whose first argument is a series or
+/// track name (`probe` takes a typed ProbePoint, so it is not listed).
+const M001_METHODS: &[&str] = &[
+    "counter",
+    "bind_counter",
+    "gauge",
+    "set_gauge",
+    "histogram",
+    "track",
+    "span",
+    "span_at",
+    "enter_at",
+    "exit_at",
+    "instant",
+    "instant_at",
+];
+
 /// Crate directories exempt from D002/E001: benchmarks time things by
 /// design, and the telemetry crate is the one sanctioned wall-clock
 /// reader (its `Instant::now` lives behind the off-by-default `timing`
@@ -240,6 +280,13 @@ impl FileContext {
         self.crate_dir
             .as_deref()
             .is_some_and(|c| ENTROPY_EXEMPT_CRATES.contains(&c))
+    }
+
+    /// True for crates whose telemetry names M001 polices.
+    pub fn in_m001_crate(&self) -> bool {
+        self.crate_dir
+            .as_deref()
+            .is_some_and(|c| M001_CRATES.contains(&c))
     }
 }
 
@@ -471,6 +518,40 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
                         ),
                     });
                 }
+                // M001 — telemetry names must be a closed, stable
+                // vocabulary: lowercase dot-separated literals or named
+                // constants, never format!-built strings.
+                if !in_test
+                    && ctx.in_m001_crate()
+                    && M001_METHODS.contains(&name)
+                    && prev_is(tokens, i, TokKind::Punct('.'))
+                    && next_is(tokens, i, TokKind::Punct('('))
+                {
+                    if let Some(hit) = m001_bad_name_arg(tokens, i + 2) {
+                        out.push(RawDiagnostic {
+                            rule: "M001",
+                            line: tok.line,
+                            col: tok.col,
+                            message: match hit {
+                                M001Hit::FormatBuilt => format!(
+                                    "`.{name}(format!(..))` mints telemetry names at \
+                                     runtime: an unbounded name family breaks the \
+                                     diff-able registry export — use a static \
+                                     lowercase dot-separated literal or hoist the \
+                                     family into a match returning &'static str, and \
+                                     carry the variable part in attrs or track keys"
+                                ),
+                                M001Hit::BadLiteral(lit) => format!(
+                                    "telemetry name \"{lit}\" is not lowercase \
+                                     dot-separated: every consumer (summary \
+                                     sectioning, trace diff, flamegraph frames) keys \
+                                     on [a-z0-9_-] segments joined by dots, like \
+                                     \"grid.attempt\""
+                                ),
+                            },
+                        });
+                    }
+                }
             }
             // N002 — float ==/!= against a float literal.
             TokKind::EqEq | TokKind::Ne if !in_test && float_operand(tokens, i) => {
@@ -527,6 +608,49 @@ fn is_path_call(tokens: &[Token], i: usize, name: &str) -> bool {
             .get(i + 2)
             .is_some_and(|t| t.kind == TokKind::Punct(':'))
         && tokens.get(i + 3).is_some_and(|t| t.text == name)
+}
+
+/// How a telemetry-name argument violates M001.
+enum M001Hit {
+    /// First argument is `format!(..)` — a runtime-minted name.
+    FormatBuilt,
+    /// First argument is a string literal that is not lowercase
+    /// dot-separated; carries the offending body.
+    BadLiteral(String),
+}
+
+/// Inspect the first argument of a telemetry-name call, with `j` at the
+/// token just past the opening paren. Returns a hit for `format!` (with
+/// or without a leading `&`) and for non-conforming string literals;
+/// idents (named constants, variables) and raw/byte literals (whose
+/// bodies the lexer does not keep) pass — the rule is a vocabulary
+/// guard, not a taint analysis.
+fn m001_bad_name_arg(tokens: &[Token], mut j: usize) -> Option<M001Hit> {
+    while tokens.get(j).is_some_and(|t| t.kind == TokKind::Punct('&')) {
+        j += 1;
+    }
+    let tok = tokens.get(j)?;
+    match tok.kind {
+        TokKind::Ident if tok.text == "format" && next_is(tokens, j, TokKind::Punct('!')) => {
+            Some(M001Hit::FormatBuilt)
+        }
+        TokKind::Str if !tok.text.is_empty() && !is_registry_name(&tok.text) => {
+            Some(M001Hit::BadLiteral(tok.text.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// True for the registry-name grammar: one or more non-empty
+/// `[a-z0-9_-]` segments joined by single dots.
+fn is_registry_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+        })
 }
 
 /// Match `. iter ( ) . position (` with `i` at the `iter` ident.
@@ -732,6 +856,45 @@ mod tests {
         );
         // A `println` ident without the macro bang is something else.
         assert!(run("crates/md/src/x.rs", "let println = 3; println == 4;").is_empty());
+    }
+
+    #[test]
+    fn m001_format_built_names_in_sim_and_steering_crates() {
+        let fmt = "t.counter(&format!(\"grid.failures.{}\", kind)).add(1);";
+        assert_eq!(rules_fired(&run("crates/gridsim/src/x.rs", fmt)), ["M001"]);
+        assert_eq!(rules_fired(&run("crates/steering/src/x.rs", fmt)), ["M001"]);
+        // Without the borrow, and on track/span methods too.
+        let span = "track.span_at(format!(\"job.{id}\"), t0);";
+        assert_eq!(rules_fired(&run("crates/md/src/x.rs", span)), ["M001"]);
+        // Out of scope: non-sim crates, tests, and non-name methods.
+        assert!(run("crates/stats/src/x.rs", fmt).is_empty());
+        assert!(run("crates/gridsim/tests/t.rs", fmt).is_empty());
+        assert!(run("crates/gridsim/src/x.rs", "let s = format!(\"x.{n}\");").is_empty());
+    }
+
+    #[test]
+    fn m001_literal_names_must_be_lowercase_dotted() {
+        let bad = "t.set_gauge(\"steering.messages.control:Pause\", 1.0);";
+        assert_eq!(rules_fired(&run("crates/steering/src/x.rs", bad)), ["M001"]);
+        let spaced = "track.instant(\"Checkpoint Write\", vec![]);";
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/x.rs", spaced)),
+            ["M001"]
+        );
+        // Conforming literals, named constants, and variables all pass.
+        assert!(run(
+            "crates/gridsim/src/x.rs",
+            "t.counter(\"grid.failures.node-crash\").add(1);"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/steering/src/x.rs",
+            "t.counter(kind.failures_counter()).add(1);"
+        )
+        .is_empty());
+        assert!(run("crates/smd/src/x.rs", "track.span(NAME_PULL);").is_empty());
+        // A free function named like a method is not a telemetry call.
+        assert!(run("crates/gridsim/src/x.rs", "histogram(\"Bad Name\", &b);").is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 use spice_gridsim::network::Path;
+use spice_telemetry::Telemetry;
 
 /// Configuration of one coupled interactive session.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -110,12 +111,34 @@ fn deliver(path: &Path, bytes: u64, rto_ms: f64, seed: u64, msg: &mut u64) -> (f
 /// Simulate a coupled session over `out` (sim → vis) and `back`
 /// (vis → sim) network paths.
 pub fn simulate_session(cfg: &ImdConfig, out: &Path, back: &Path) -> ImdStats {
+    simulate_session_traced(cfg, out, back, &Telemetry::disabled(), 0)
+}
+
+/// [`simulate_session`] that also records the session onto `t`: every
+/// completed exchange becomes a `steering.exchange` instant on the
+/// `("steering.session", key)` track, stamped with the session's
+/// cumulative wall-clock milliseconds (compute + stall) as the logical
+/// clock and annotated with that exchange's round-trip and retransmit
+/// count. The inter-arrival gaps of those instants are exactly the
+/// cadence signal the `spice-obs` stall detector consumes: steady on the
+/// lightpath profile, retransmit-inflated on commodity IP. Also bumps
+/// the `steering.exchanges` / `steering.retransmits` counters. The
+/// simulated statistics are bit-identical to the untraced run.
+pub fn simulate_session_traced(
+    cfg: &ImdConfig,
+    out: &Path,
+    back: &Path,
+    t: &Telemetry,
+    key: u64,
+) -> ImdStats {
+    let track = t.track("steering.session", key);
     let mut stall = 0.0;
     let mut retransmits = 0;
     let mut rtt_sum = 0.0;
     let mut msg_out = 0u64;
     let mut msg_back = 0u64;
-    for _ in 0..cfg.n_exchanges {
+    let compute_per_exchange = cfg.step_wall_ms * cfg.steps_per_exchange as f64;
+    for i in 0..cfg.n_exchanges {
         let (t_out, r_out) = deliver(out, cfg.frame_bytes, cfg.rto_ms, cfg.seed, &mut msg_out);
         let (t_back, r_back) = deliver(
             back,
@@ -128,8 +151,23 @@ pub fn simulate_session(cfg: &ImdConfig, out: &Path, back: &Path) -> ImdStats {
         stall += rtt;
         rtt_sum += rtt;
         retransmits += r_out + r_back;
+        if t.is_enabled() {
+            let wall_ms = compute_per_exchange * (i + 1) as f64 + stall;
+            track.instant_at(
+                "steering.exchange",
+                wall_ms.round() as u64,
+                vec![
+                    ("rtt_ms", format!("{rtt:.3}")),
+                    ("retransmits", (r_out + r_back).to_string()),
+                ],
+            );
+        }
     }
-    let compute = cfg.step_wall_ms * cfg.steps_per_exchange as f64 * cfg.n_exchanges as f64;
+    if t.is_enabled() {
+        t.counter("steering.exchanges").add(cfg.n_exchanges);
+        t.counter("steering.retransmits").add(retransmits);
+    }
+    let compute = compute_per_exchange * cfg.n_exchanges as f64;
     ImdStats {
         compute_ms: compute,
         stall_ms: stall,
@@ -213,6 +251,43 @@ mod tests {
         cfg2.seed = 2;
         let c = simulate_session(&cfg2, &p, &p);
         assert_ne!(a.stall_ms, c.stall_ms);
+    }
+
+    #[test]
+    fn traced_session_matches_untraced_bit_for_bit() {
+        let cfg = ImdConfig::default();
+        let p = path(QosProfile::TransAtlanticCommodity);
+        let t = Telemetry::enabled();
+        let traced = simulate_session_traced(&cfg, &p, &p, &t, 7);
+        let plain = simulate_session(&cfg, &p, &p);
+        assert_eq!(traced, plain);
+
+        let snap = t.snapshot();
+        let track = snap
+            .tracks
+            .iter()
+            .find(|tr| tr.name == "steering.session" && tr.key == 7)
+            .expect("session track exists");
+        let instants: Vec<u64> = track
+            .events
+            .iter()
+            .filter(|e| e.name == "steering.exchange")
+            .map(|e| e.logical)
+            .collect();
+        assert_eq!(instants.len(), cfg.n_exchanges as usize);
+        assert!(
+            instants.windows(2).all(|w| w[1] > w[0]),
+            "exchange stamps strictly increase"
+        );
+        let exchanges = snap
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "steering.exchanges")
+            .map(|(_, v)| v.clone());
+        assert_eq!(
+            exchanges,
+            Some(spice_telemetry::MetricValue::Counter(cfg.n_exchanges))
+        );
     }
 
     #[test]

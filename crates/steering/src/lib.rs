@@ -44,7 +44,7 @@ pub mod visualizer;
 
 pub use client::SteeringClient;
 pub use haptic::HapticDevice;
-pub use imd::{ImdConfig, ImdStats};
+pub use imd::{simulate_session, simulate_session_traced, ImdConfig, ImdStats};
 pub use message::{ControlMessage, Frame};
 pub use service::{ComponentId, GridService, LogEntry, SharedService};
 pub use sim_side::SteeringHook;

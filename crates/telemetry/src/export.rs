@@ -106,7 +106,12 @@ pub fn summary_tree(snap: &Snapshot) -> String {
     out
 }
 
-/// Escape a string for a JSON literal body.
+/// Escape a string for a JSON literal body. Beyond the mandatory set
+/// (quote, backslash, C0 controls), DEL and the U+2028/U+2029 line
+/// separators are `\u`-escaped: both separators are legal raw inside
+/// JSON strings but terminate lines in JavaScript and some line-oriented
+/// consumers, which would corrupt the one-object-per-line JSONL framing.
+/// All other multi-byte characters pass through as UTF-8.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -116,7 +121,7 @@ fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -346,6 +351,56 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(fmt_f64(f64::NAN), "null");
         assert_eq!(fmt_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn escaping_handles_del_separators_and_multibyte() {
+        assert_eq!(json_escape("\u{7f}"), "\\u007f");
+        assert_eq!(json_escape("\u{2028}\u{2029}"), "\\u2028\\u2029");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("π 😀 é"), "π 😀 é", "multi-byte passes through");
+    }
+
+    #[test]
+    fn hostile_names_export_as_valid_single_line_json() {
+        use crate::span::intern;
+        use crate::Telemetry;
+        let hostile = intern("a\"b\\c\nd\u{2028}e π😀 \u{7f}");
+        let t = Telemetry::enabled();
+        t.track(hostile, 0)
+            .instant(hostile, vec![("k", hostile.to_string())]);
+        t.counter(hostile).incr();
+
+        for export in [t.jsonl(), t.chrome_trace()] {
+            for line in export.lines().filter(|l| l.contains("\\u2028")) {
+                assert!(
+                    !line.contains('\u{2028}') && !line.contains('\u{7f}'),
+                    "no raw separators/DEL in: {line}"
+                );
+            }
+            // One-object-per-line framing survives: no raw newline or
+            // line separator inside any line, quotes all escaped.
+            for line in export.lines() {
+                let bytes = line.as_bytes();
+                let mut i = 0;
+                let mut in_str = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if in_str => i += 1, // skip escaped char
+                        b'"' => in_str = !in_str,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                assert!(!in_str, "unbalanced quotes in exported line: {line}");
+            }
+        }
+        let jsonl = t.jsonl();
+        assert_eq!(
+            jsonl.lines().count(),
+            2,
+            "hostile names stay on their own lines: {jsonl}"
+        );
     }
 
     #[test]

@@ -14,9 +14,11 @@ use spice_core::config::Scale;
 use spice_core::experiments::resilience::sc05_campaign;
 use spice_core::pipeline::{run_cell, run_cell_traced};
 use spice_gridsim::metrics::resilience_summary_traced;
+use spice_gridsim::network::{Path, QosProfile};
 use spice_gridsim::trace::failure_listing_traced;
 use spice_gridsim::{run_resilient, run_resilient_traced, ResiliencePolicy};
 use spice_stats::rng::SeedSequence;
+use spice_steering::{simulate_session_traced, ImdConfig};
 use spice_telemetry::Telemetry;
 
 fn main() {
@@ -50,6 +52,29 @@ fn main() {
     println!("\nfailure log (first lines):");
     for line in listing.lines().take(6) {
         println!("{line}");
+    }
+
+    // ---- T-imd: steered sessions, lightpath vs commodity IP ----------
+    // Identical load over both profiles; the exchange-cadence instants
+    // land on `("steering.session", 0)` (lightpath) and `(.., 1)`
+    // (commodity), where `spice-trace stalls` separates the two.
+    let imd_cfg = ImdConfig {
+        seed: master_seed,
+        ..ImdConfig::default()
+    };
+    for (key, profile) in [
+        (0u64, QosProfile::TransAtlanticLightpath),
+        (1u64, QosProfile::TransAtlanticCommodity),
+    ] {
+        let net = Path::new(vec![profile.link()]);
+        let stats = simulate_session_traced(&imd_cfg, &net, &net, &telemetry, key);
+        println!(
+            "T-imd {:?}: slowdown {:.2}x, {} retransmits over {} exchanges",
+            profile,
+            1.0 + stats.stall_ms / stats.compute_ms,
+            stats.retransmits,
+            stats.exchanges
+        );
     }
 
     // ---- Determinism check: traced == untraced, bit for bit ----------

@@ -14,11 +14,14 @@
 //! * [`core`] — the SPICE application: three-phase workflow and the
 //!   experiment drivers that regenerate every figure and table.
 //! * [`telemetry`] — deterministic spans, counters and profiling hooks.
+//! * [`obs`] — trace analysis: quantiles, critical paths, stall
+//!   detection, trace diff (the `spice-trace` CLI).
 
 pub use spice_core as core;
 pub use spice_gridsim as gridsim;
 pub use spice_jarzynski as jarzynski;
 pub use spice_md as md;
+pub use spice_obs as obs;
 pub use spice_pore as pore;
 pub use spice_smd as smd;
 pub use spice_stats as stats;

@@ -168,17 +168,30 @@ fn flatten_model(model: &TraceModel, out: &mut BTreeMap<String, Leaf>) {
     }
 }
 
-/// Parse one input into leaves. A document that parses as a single JSON
-/// value is flattened structurally; otherwise it must parse as a
-/// telemetry JSONL export.
+/// Parse one input into leaves. Telemetry JSONL is detected by shape —
+/// the first non-blank line is an object with a string `"type"` member —
+/// so even a one-line export (which also parses as a whole JSON
+/// document) is aggregated as telemetry rather than flattened
+/// structurally. Everything else is tried as a single JSON document,
+/// falling back to JSONL.
 pub fn flatten_input(text: &str) -> Result<BTreeMap<String, Leaf>, String> {
     let mut out = BTreeMap::new();
-    match json::parse(text) {
-        Ok(doc) => flatten_json("", &doc, &mut out),
-        Err(_) => {
-            let model = TraceModel::from_jsonl(text)
-                .map_err(|e| format!("input is neither a JSON document nor JSONL: {e}"))?;
-            flatten_model(&model, &mut out);
+    let looks_like_jsonl = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| json::parse(l).ok())
+        .is_some_and(|obj| obj.get("type").is_some_and(|t| t.as_str().is_some()));
+    if looks_like_jsonl {
+        let model = TraceModel::from_jsonl(text)?;
+        flatten_model(&model, &mut out);
+    } else {
+        match json::parse(text) {
+            Ok(doc) => flatten_json("", &doc, &mut out),
+            Err(_) => {
+                let model = TraceModel::from_jsonl(text)
+                    .map_err(|e| format!("input is neither a JSON document nor JSONL: {e}"))?;
+                flatten_model(&model, &mut out);
+            }
         }
     }
     Ok(out)
@@ -386,6 +399,23 @@ mod tests {
         // Same trace replayed → clean diff.
         let r = diff(&flat, &leaves(&t.jsonl()), &DiffConfig::default());
         assert!(r.is_clean(), "{r:?}");
+    }
+
+    #[test]
+    fn one_line_jsonl_still_flattens_as_telemetry() {
+        // A single-line export also parses as a plain JSON document; the
+        // shape check must route it through telemetry aggregation so it
+        // diffs clean against a multi-line export of the same trace.
+        let one = leaves("{\"type\":\"counter\",\"name\":\"grid.jobs\",\"value\":3}\n");
+        assert_eq!(one.get("metrics.grid.jobs"), Some(&Leaf::Num(3.0)));
+        assert!(!one.contains_key("type"), "not flattened structurally");
+        let two = leaves(
+            "{\"type\":\"counter\",\"name\":\"grid.jobs\",\"value\":3}\n\
+             {\"type\":\"counter\",\"name\":\"grid.retries\",\"value\":0}\n",
+        );
+        let r = diff(&one, &two, &DiffConfig::default());
+        assert!(r.broken.is_empty());
+        assert_eq!(r.added, vec!["metrics.grid.retries".to_string()]);
     }
 
     #[test]

@@ -116,7 +116,11 @@ pub fn fmt_f64(v: f64) -> String {
     format!("{v}")
 }
 
-/// Escape a string for a JSON literal body.
+/// Escape a string for a JSON literal body. Mirrors the telemetry
+/// exporter's `json_escape`: beyond the mandatory set (quote, backslash,
+/// C0 controls), DEL and the U+2028/U+2029 line separators are
+/// `\u`-escaped so report output stays line-oriented even when track or
+/// attribute names carry hostile characters.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -126,7 +130,7 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -403,6 +407,16 @@ mod tests {
         // Render → parse is the identity.
         let again = parse(&j.render()).expect("round trip");
         assert_eq!(again, j);
+    }
+
+    #[test]
+    fn line_separators_and_del_are_escaped() {
+        // Raw U+2028/U+2029 are legal inside JSON strings but break
+        // line-oriented consumers; the writer must \u-escape them (and
+        // DEL), matching the telemetry exporter.
+        let j = Json::Str("a\u{2028}b\u{2029}c\u{7f}".to_string());
+        assert_eq!(j.render(), "\"a\\u2028b\\u2029c\\u007f\"");
+        assert_eq!(parse(&j.render()).expect("round trip"), j);
     }
 
     #[test]

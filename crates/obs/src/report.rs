@@ -114,16 +114,33 @@ pub fn build(inputs: &[(String, TraceModel)]) -> SummaryReport {
                 (Some(MetricVal::Gauge(a)), MetricVal::Gauge(b)) => *a = *b,
                 (
                     Some(MetricVal::Histogram {
-                        counts: a, sum: s, ..
+                        bounds: ba,
+                        counts: a,
+                        sum: s,
                     }),
                     MetricVal::Histogram {
-                        counts: b, sum: t, ..
+                        bounds: bb,
+                        counts: b,
+                        sum: t,
                     },
                 ) => {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
+                    if ba == bb && a.len() == b.len() {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        *s += t;
+                    } else {
+                        // Shards disagree on bucket layout: a zip would
+                        // silently drop the longer side's buckets and
+                        // corrupt n. Collapse to a bucketless histogram
+                        // whose n and sum — the only aggregates the
+                        // report surfaces — stay exact; collapsing is
+                        // idempotent, so merge order still cannot matter.
+                        let n: u64 = a.iter().sum::<u64>() + b.iter().copied().sum::<u64>();
+                        *ba = Vec::new();
+                        *a = vec![n];
+                        *s += t;
                     }
-                    *s += t;
                 }
                 _ => {
                     metrics.insert(name.clone(), v.clone());
@@ -374,6 +391,33 @@ mod tests {
         assert_eq!(ab.highlights, ba.highlights, "counters add commutatively");
         let failures = &ab.highlights[0].1;
         assert!(failures.contains(&("grid.failures".to_string(), "5".to_string())));
+    }
+
+    #[test]
+    fn histogram_merge_checks_bucket_layout() {
+        use crate::trace::MetricVal;
+        let shard = |bounds: &[f64], counts: &[u64], sum: f64| {
+            let mut m = TraceModel::default();
+            m.metrics.push((
+                "grid.latency".to_string(),
+                MetricVal::Histogram {
+                    bounds: bounds.to_vec(),
+                    counts: counts.to_vec(),
+                    sum,
+                },
+            ));
+            ("s".to_string(), m)
+        };
+        // Same layout merges bucket-wise.
+        let same = build(&[shard(&[1.0], &[2, 3], 5.0), shard(&[1.0], &[1, 1], 2.0)]);
+        assert_eq!(same.highlights[0].1[0].1, "n=7 sum=7");
+        // Mismatched layouts collapse instead of zip-truncating: n counts
+        // every observation from both shards.
+        let a = shard(&[1.0], &[2, 3], 5.0);
+        let b = shard(&[1.0, 10.0], &[1, 1, 4], 9.0);
+        let ab = build(&[a.clone(), b.clone()]);
+        assert_eq!(ab.highlights[0].1[0].1, "n=11 sum=14");
+        assert_eq!(build(&[b, a]).highlights, ab.highlights);
     }
 
     #[test]

@@ -120,7 +120,7 @@ pub fn detect(model: &TraceModel, cfg: &StallConfig) -> StallReport {
                 continue;
             }
         }
-        let stamps: Vec<u64> = track
+        let mut stamps: Vec<u64> = track
             .events
             .iter()
             .filter(|e| e.kind == EvKind::Instant && e.name == cfg.name)
@@ -129,6 +129,10 @@ pub fn detect(model: &TraceModel, cfg: &StallConfig) -> StallReport {
         if stamps.len() < cfg.min_events.max(2) {
             continue;
         }
+        // Live snapshots are monotone per track, but `from_jsonl` accepts
+        // arbitrary user files; sort so an out-of-order trace yields true
+        // inter-arrival gaps instead of u64 underflow.
+        stamps.sort_unstable();
         let gaps: Vec<u64> = stamps.windows(2).map(|w| w[1] - w[0]).collect();
         let expected = cfg.expected_gap.unwrap_or_else(|| {
             let mut sorted = gaps.clone();
@@ -364,6 +368,28 @@ mod tests {
         );
         assert_eq!(report.tracks[0].expected_gap, 0.0);
         assert!(report.tracks[0].windows.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_stamps_do_not_underflow() {
+        // Hand-built JSONL with instants deliberately out of stamp order,
+        // as an arbitrary user file may be. Sorted, the cadence is 10
+        // with one injected gap of 60.
+        let mut lines = String::new();
+        for stamp in [40u64, 10, 30, 20, 120, 50, 60, 70, 80] {
+            lines.push_str(&format!(
+                "{{\"type\":\"instant\",\"track\":\"s\",\"key\":0,\
+                 \"name\":\"steering.exchange\",\"logical\":{stamp}}}\n"
+            ));
+        }
+        let model = TraceModel::from_jsonl(&lines).expect("parses");
+        let report = detect(&model, &StallConfig::default());
+        assert_eq!(report.tracks.len(), 1);
+        assert_eq!(report.tracks[0].expected_gap, 10.0);
+        assert_eq!(report.tracks[0].max_gap, 40, "gap 80 -> 120");
+        assert_eq!(report.total_windows(), 1);
+        assert_eq!(report.tracks[0].windows[0].start, 80);
+        assert_eq!(report.tracks[0].windows[0].end, 120);
     }
 
     #[test]

@@ -104,6 +104,20 @@ impl Scale {
         }
     }
 
+    /// Minimum realizations per cell before [`run_cell`] routes the
+    /// ensemble through the batched SoA engine
+    /// (`spice_smd::run_ensemble_batched_traced`) instead of the cloned
+    /// per-replica path. The two paths are bit-identical, so the switch
+    /// is purely a throughput decision: lane sweeps only amortize their
+    /// fixed costs once enough replicas share the loop. `Test` (6
+    /// realizations) stays on the cloned path; `Bench` (24) and `Paper`
+    /// (72) batch.
+    ///
+    /// [`run_cell`]: crate::pipeline::run_cell
+    pub fn batch_min_realizations(self) -> usize {
+        16
+    }
+
     /// The pulling protocol for one paper-unit (κ [pN/Å], v [Å/ns]) cell
     /// at this scale: paper labels in, scaled velocities out.
     pub fn protocol(self, kappa_pn_per_a: f64, v_a_per_ns: f64) -> PullProtocol {

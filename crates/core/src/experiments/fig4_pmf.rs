@@ -27,6 +27,28 @@ pub fn report(sweep: &SweepResult) -> Report {
         ),
     );
 
+    // Failed realizations drop out of the JE average silently at the
+    // ensemble layer; surface the attrition here so a biased Φ is
+    // never mistaken for a converged one.
+    let n_failed: usize = sweep.cells.iter().map(|c| c.n_failed).sum();
+    r.fact(
+        "failed realizations",
+        if n_failed == 0 {
+            "none (every JE average used its full ensemble)".to_string()
+        } else {
+            let detail: Vec<String> = sweep
+                .cells
+                .iter()
+                .filter(|c| c.n_failed > 0)
+                .map(|c| format!("κ={} v={}: {}", c.kappa_pn_per_a, c.v_label, c.n_failed))
+                .collect();
+            format!(
+                "{n_failed} dropped — JE averages on incomplete cells are biased ({})",
+                detail.join(", ")
+            )
+        },
+    );
+
     // Panels (a)–(c): one table per κ, columns per v.
     for &kappa in &PullProtocol::KAPPA_GRID {
         let cells: Vec<_> = sweep

@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn segmentation_reduces_far_end_error() {
-        let s = study(Scale::Test, 32);
+        let s = study(Scale::Test, 33);
         assert!(
             s.sigma_far_segmented < s.sigma_far_long,
             "segment re-zeroing must bound error: {} vs {}",

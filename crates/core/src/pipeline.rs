@@ -11,7 +11,10 @@ use spice_md::units::KT_300;
 use spice_md::Simulation;
 use spice_pore::build::{PoreSystemBuilder, SmdSelection};
 use spice_pore::dna::DnaParams;
-use spice_smd::{run_ensemble_cloned_traced, PullProtocol, WorkTrajectory};
+use spice_smd::{
+    partition_outcomes, run_ensemble_batched_traced, run_ensemble_cloned_traced, PullProtocol,
+    WorkTrajectory,
+};
 use spice_stats::rng::SeedSequence;
 use spice_telemetry::Telemetry;
 
@@ -56,6 +59,10 @@ pub struct PmfCell {
     pub coverage: f64,
     /// Realizations used.
     pub n_realizations: usize,
+    /// Realizations that failed (numerical blow-up) and were dropped
+    /// from the estimate — silent attrition biases the Jarzynski
+    /// average, so it must be visible in every report.
+    pub n_failed: usize,
     /// The raw trajectories (kept for downstream analysis).
     pub trajectories: Vec<WorkTrajectory>,
 }
@@ -101,18 +108,40 @@ pub fn run_cell_traced(
     let protocol = scale.protocol(kappa, v_label);
     // Clone-amortized ensemble: one shared equilibration per cell, each
     // realization forked from the snapshot with a fresh noise stream plus
-    // a short decorrelation hold (see DESIGN.md).
-    let results = run_ensemble_cloned_traced(
-        |seed| pore_simulation(scale, seed),
-        &protocol,
-        scale.realizations(),
-        seeds,
-        scale.decorrelation_steps(),
-        telemetry,
-        track_key,
-    );
-    let mut trajectories: Vec<WorkTrajectory> =
-        results.into_iter().filter_map(Result::ok).collect();
+    // a short decorrelation hold (see DESIGN.md). Large cells route
+    // through the batched SoA engine — bit-identical to the cloned path,
+    // but all replicas advance through one vectorized loop.
+    let n = scale.realizations();
+    let results = if n >= scale.batch_min_realizations() {
+        run_ensemble_batched_traced(
+            |seed| pore_simulation(scale, seed),
+            &protocol,
+            n,
+            seeds,
+            scale.decorrelation_steps(),
+            telemetry,
+            track_key,
+        )
+    } else {
+        run_ensemble_cloned_traced(
+            |seed| pore_simulation(scale, seed),
+            &protocol,
+            n,
+            seeds,
+            scale.decorrelation_steps(),
+            telemetry,
+            track_key,
+        )
+    };
+    let (mut trajectories, failures) = partition_outcomes(results);
+    let n_failed = failures.len();
+    if let Some(first) = failures.first() {
+        // spice-lint: allow(T001) anti-silent-attrition contract: the drop must reach the operator even untraced; the count also lands in the report's failed-realizations fact
+        eprintln!(
+            "spice-core: cell (κ={kappa}, v={v_label}) dropped {n_failed} failed \
+             realization(s); first: {first}"
+        );
+    }
     assert!(
         !trajectories.is_empty(),
         "every realization of cell (κ={kappa}, v={v_label}) failed"
@@ -180,6 +209,9 @@ pub fn run_cell_traced(
         telemetry
             .counter("core.realizations_used")
             .add(trajectories.len() as u64);
+        telemetry
+            .counter("core.realizations_failed")
+            .add(n_failed as u64);
         cell_track.instant(
             "core.pmf_estimated",
             vec![
@@ -199,6 +231,7 @@ pub fn run_cell_traced(
         sigma_sys: f64::NAN, // filled in once the reference exists
         coverage,
         n_realizations: trajectories.len(),
+        n_failed,
         trajectories,
     }
 }

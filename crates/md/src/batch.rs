@@ -1,0 +1,1225 @@
+//! Batched SoA ensemble engine: advance many replicas of one system
+//! through a single force/integrate loop.
+//!
+//! The cloned-ensemble path (`spice-smd`) runs R independent
+//! [`Simulation`]s that share a topology, force field and starting
+//! snapshot, diverging only through per-replica thermostat noise and the
+//! pulling bias. Stepping them one at a time re-pays every per-step fixed
+//! cost R times and leaves the per-pair arithmetic scalar. This module
+//! holds the whole batch in structure-of-arrays layout — for coordinate
+//! row `(particle, axis)` the R replica *lanes* are contiguous,
+//! `idx = (particle*3 + axis)*R + lane` — so the hot kernels loop over
+//! pairs/particles once and sweep lanes in the inner loop, which LLVM
+//! auto-vectorizes (AVX2/AVX-512 selected at runtime, like the
+//! chunked-scratch reduction idiom in `forces::nonbonded`).
+//!
+//! # Bit-identity with the cloned path
+//!
+//! The contract is *bitwise* agreement with `run_ensemble_cloned`, not
+//! approximate agreement; `spice-smd` property-tests pin it. Three rules
+//! make it hold:
+//!
+//! 1. **Same expressions.** Lane kernels call the same inlined scalar
+//!    functions ([`LjParams::energy_force`],
+//!    [`DebyeHuckel::energy_force_pref`], `detmath`, `rng::gauss_from`)
+//!    and replicate the BAOAB update's exact parse order. Bonded,
+//!    external and restraint terms are evaluated by *calling the scalar
+//!    kernels* on per-lane gather/scatter views — zero duplication risk.
+//!    LLVM never contracts mul+add to FMA without fast-math, so
+//!    vectorized lanes produce the scalar bits.
+//! 2. **Masked adds instead of branches.** Where the scalar pair kernel
+//!    skips (`r2 == 0` or beyond cutoff), the lane kernel accumulates an
+//!    exact `±0.0`. Force accumulators start at `+0.0` and only ever
+//!    receive `+=`/`-=`, so they can never become `-0.0` (IEEE round-to-
+//!    nearest returns `+0.0` for any exactly-cancelling sum), and adding
+//!    `±0.0` to a non-`-0.0` accumulator never changes its bits.
+//! 3. **Superset pair list.** All lanes share one tiered pair list built
+//!    as the sorted, deduped union of every live lane's cell-list
+//!    candidates. By rule 2 a superset is bit-safe: pairs inside the true
+//!    cutoff appear in every valid Verlet list (skin invariant) in the
+//!    same sorted order, and extra pairs contribute exact zeros. The list
+//!    is rebuilt when *any* live lane has moved more than `skin/2` since
+//!    the last rebuild — at least as often as any per-replica list would.
+//!
+//! Replicas that go non-finite ("dead" lanes) keep computing lane-local
+//! garbage in the hot kernels (no per-lane branching) but are excluded
+//! from rebuild unions, mirroring the scalar engine where NaN
+//! displacements never trigger a rebuild.
+
+use crate::forces::nonbonded::{DebyeHuckel, LjParams};
+use crate::forces::{angle_forces, bond_forces, dihedral_forces, ForceField};
+use crate::neighbor::CellList;
+use crate::rng::{gauss_from, gauss_hash};
+use crate::sim::Simulation;
+use crate::units;
+use crate::vec3::Vec3;
+
+/// Per-lane BAOAB thermostat parameters, extracted from each replica's
+/// integrator via [`Simulation::langevin_params`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneThermostat {
+    /// Target temperature (K).
+    pub temperature: f64,
+    /// Friction coefficient γ (ps⁻¹).
+    pub gamma: f64,
+    /// Counter-based noise stream seed (one independent stream per lane).
+    pub noise_seed: u64,
+}
+
+/// Per-eval bias access for one batch: read lane positions, add lane
+/// forces. Handed to the bias callback so the SMD spring can act on every
+/// lane inside the batched force evaluation.
+pub struct LaneForces<'a> {
+    pos: &'a [f64],
+    frc: &'a mut [f64],
+    n: usize,
+    r: usize,
+}
+
+impl LaneForces<'_> {
+    /// Particles per replica.
+    pub fn n_particles(&self) -> usize {
+        self.n
+    }
+
+    /// Replica lanes in the batch.
+    pub fn n_lanes(&self) -> usize {
+        self.r
+    }
+
+    /// Position of particle `i` in lane `l`.
+    #[inline]
+    pub fn pos(&self, i: usize, l: usize) -> Vec3 {
+        let b = i * 3 * self.r;
+        Vec3::new(
+            self.pos[b + l],
+            self.pos[b + self.r + l],
+            self.pos[b + 2 * self.r + l],
+        )
+    }
+
+    /// z-coordinate of particle `i` in lane `l` (the SMD reaction
+    /// coordinate; avoids gathering all three components).
+    #[inline]
+    pub fn pos_z(&self, i: usize, l: usize) -> f64 {
+        self.pos[(i * 3 + 2) * self.r + l]
+    }
+
+    /// Add `df` to the z-force on particle `i` in lane `l`.
+    #[inline]
+    pub fn add_force_z(&mut self, i: usize, l: usize, df: f64) {
+        self.frc[(i * 3 + 2) * self.r + l] += df;
+    }
+
+    /// Add a force vector to particle `i` in lane `l`.
+    #[inline]
+    pub fn add_force(&mut self, i: usize, l: usize, f: Vec3) {
+        let b = i * 3 * self.r;
+        self.frc[b + l] += f.x;
+        self.frc[b + self.r + l] += f.y;
+        self.frc[b + 2 * self.r + l] += f.z;
+    }
+}
+
+/// Shared tiered pair state for the whole batch (mirrors
+/// `forces::nonbonded::TierList` compiled over the union candidate list).
+#[derive(Debug)]
+struct BatchPairs {
+    lj: LjParams,
+    dh: Option<DebyeHuckel>,
+    lj_cut2: f64,
+    es_cut2: f64,
+    /// Candidate-collection radius: `list_cutoff + skin`.
+    radius: f64,
+    /// Rebuild trigger: squared displacement limit `(skin/2)²`.
+    limit2: f64,
+    lj_pairs: Vec<(u32, u32)>,
+    ljdh_pairs: Vec<(u32, u32)>,
+    ljdh_pref: Vec<f64>,
+    /// Positions of every lane at the last rebuild (SoA, same layout).
+    ref_pos: Vec<f64>,
+    built: bool,
+    /// Union-candidate scratch, reused across rebuilds.
+    candidates: Vec<(u32, u32)>,
+}
+
+/// A batch of replicas advanced in lockstep through one vectorized
+/// BAOAB/force loop. Construct from a template [`Simulation`] (all lanes
+/// start from its exact state) plus per-lane thermostat parameters.
+pub struct BatchSim {
+    n: usize,
+    r: usize,
+    dt: f64,
+    step: u64,
+    /// SoA state, `idx = (particle*3 + axis)*r + lane`.
+    pos: Vec<f64>,
+    vel: Vec<f64>,
+    frc: Vec<f64>,
+    inv_m: Vec<f64>,
+    masses: Vec<f64>,
+    charges: Vec<f64>,
+    species: Vec<u32>,
+    alive: Vec<bool>,
+    /// Per-lane thermostat coefficients (SoA so the O-step sweeps lanes).
+    seeds: Vec<u64>,
+    c1: Vec<f64>,
+    /// OU noise amplitude per `(particle, lane)`, `sigma[i*r + l]` —
+    /// `c2·√(kT·m⁻¹)` is a loop constant, so hoisting it from the O-step
+    /// to construction drops a sqrt per lane-element while keeping the
+    /// scalar path's exact bits (same expression, same inputs).
+    sigma: Vec<f64>,
+    /// Shared model: topology, external potentials, restraints. The
+    /// embedded `NonBonded` evaluator is *not* called — its parameters
+    /// were extracted into `nb` at construction.
+    ff: ForceField,
+    nb: Option<BatchPairs>,
+    // Reusable scratch (allocated once; the hot loops must not allocate).
+    lane_pos: Vec<Vec3>,
+    lane_frc: Vec<Vec3>,
+    pair_scratch: Vec<f64>,
+    maxd2: Vec<f64>,
+    rebuilds: u64,
+}
+
+impl BatchSim {
+    /// Build a batch of `lanes.len()` replicas, each starting from
+    /// `template`'s exact positions/velocities/step. The template's
+    /// integrator and bias are discarded; per-lane thermostats come from
+    /// `lanes`. Call [`refresh_forces`](Self::refresh_forces) before the
+    /// first [`step_once`](Self::step_once) (mirroring how the scalar
+    /// driver refreshes on bias installation).
+    ///
+    /// # Panics
+    /// Panics when `lanes` is empty.
+    pub fn new(template: Simulation, lanes: &[LaneThermostat]) -> Self {
+        assert!(!lanes.is_empty(), "batch needs at least one lane");
+        let (system, ff, dt, step) = template.into_parts();
+        let n = system.len();
+        let r = lanes.len();
+
+        let mut pos = vec![0.0; 3 * n * r];
+        let mut vel = vec![0.0; 3 * n * r];
+        for i in 0..n {
+            let p = system.positions()[i];
+            let v = system.velocities()[i];
+            let b = i * 3 * r;
+            for l in 0..r {
+                pos[b + l] = p.x;
+                pos[b + r + l] = p.y;
+                pos[b + 2 * r + l] = p.z;
+                vel[b + l] = v.x;
+                vel[b + r + l] = v.y;
+                vel[b + 2 * r + l] = v.z;
+            }
+        }
+
+        // Same expressions the scalar BAOAB step evaluates from (γ, T, dt)
+        // every step; they are loop constants, so hoisting them to
+        // construction reproduces the same bits.
+        let mut seeds = Vec::with_capacity(r);
+        let mut c1 = Vec::with_capacity(r);
+        let mut c2 = Vec::with_capacity(r);
+        let mut kt = Vec::with_capacity(r);
+        for t in lanes {
+            let c1_l = (-t.gamma * dt).exp();
+            seeds.push(t.noise_seed);
+            c1.push(c1_l);
+            c2.push((1.0 - c1_l * c1_l).sqrt());
+            kt.push(units::KB * t.temperature * units::ACCEL);
+        }
+        let inv_m = system.inv_masses().to_vec();
+        let mut sigma = vec![0.0; n * r];
+        for i in 0..n {
+            let im = inv_m[i];
+            for l in 0..r {
+                // Exactly the scalar O-step's per-step expression.
+                sigma[i * r + l] = c2[l] * (kt[l] * im).sqrt();
+            }
+        }
+
+        let nb = ff.nonbonded().map(|nb| {
+            let lj = nb.lj_params();
+            let list_cutoff = nb.list_cutoff();
+            let skin = nb.list_skin();
+            BatchPairs {
+                lj,
+                dh: nb.debye(),
+                lj_cut2: lj.cutoff * lj.cutoff,
+                es_cut2: list_cutoff * list_cutoff,
+                radius: list_cutoff + skin,
+                limit2: (skin * 0.5) * (skin * 0.5),
+                lj_pairs: Vec::new(),
+                ljdh_pairs: Vec::new(),
+                ljdh_pref: Vec::new(),
+                ref_pos: vec![0.0; 3 * n * r],
+                built: false,
+                candidates: Vec::new(),
+            }
+        });
+
+        BatchSim {
+            n,
+            r,
+            dt,
+            step,
+            pos,
+            vel,
+            frc: vec![0.0; 3 * n * r],
+            inv_m,
+            masses: system.masses().to_vec(),
+            charges: system.charges().to_vec(),
+            species: system.species().to_vec(),
+            alive: vec![true; r],
+            seeds,
+            c1,
+            sigma,
+            ff,
+            nb,
+            lane_pos: vec![Vec3::zero(); n],
+            lane_frc: vec![Vec3::zero(); n],
+            pair_scratch: vec![0.0; 3 * r],
+            maxd2: vec![0.0; r],
+            rebuilds: 0,
+        }
+    }
+
+    /// Particles per replica.
+    pub fn n_particles(&self) -> usize {
+        self.n
+    }
+
+    /// Replica lanes in the batch.
+    pub fn n_lanes(&self) -> usize {
+        self.r
+    }
+
+    /// Completed step count (shared by all lanes — they run in lockstep).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Simulation time (ps), identical across lanes.
+    pub fn time_ps(&self) -> f64 {
+        self.step as f64 * self.dt
+    }
+
+    /// Time step (ps).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Per-particle masses (amu), shared by all lanes.
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Is lane `l` still considered live?
+    pub fn lane_alive(&self, l: usize) -> bool {
+        self.alive[l]
+    }
+
+    /// Any live lanes left?
+    pub fn any_alive(&self) -> bool {
+        self.alive.iter().any(|&a| a)
+    }
+
+    /// Mark lane `l` dead: it stops contributing to neighbor-list
+    /// rebuilds. Its state keeps evolving as lane-local garbage (the hot
+    /// kernels never branch per lane), exactly like a scalar replica
+    /// between blowing up and being detected.
+    pub fn mark_dead(&mut self, l: usize) {
+        self.alive[l] = false;
+    }
+
+    /// True when every coordinate and velocity of lane `l` is finite —
+    /// the per-lane analogue of `System::is_finite`.
+    pub fn lane_is_finite(&self, l: usize) -> bool {
+        let r = self.r;
+        for row in 0..3 * self.n {
+            if !self.pos[row * r + l].is_finite() || !self.vel[row * r + l].is_finite() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Position of particle `i` in lane `l`.
+    pub fn pos(&self, i: usize, l: usize) -> Vec3 {
+        let b = i * 3 * self.r;
+        Vec3::new(
+            self.pos[b + l],
+            self.pos[b + self.r + l],
+            self.pos[b + 2 * self.r + l],
+        )
+    }
+
+    /// Velocity of particle `i` in lane `l`.
+    pub fn vel(&self, i: usize, l: usize) -> Vec3 {
+        let b = i * 3 * self.r;
+        Vec3::new(
+            self.vel[b + l],
+            self.vel[b + self.r + l],
+            self.vel[b + 2 * self.r + l],
+        )
+    }
+
+    /// z-coordinate of particle `i` in lane `l`.
+    #[inline]
+    pub fn pos_z(&self, i: usize, l: usize) -> f64 {
+        self.pos[(i * 3 + 2) * self.r + l]
+    }
+
+    /// All positions of lane `l`, in particle order.
+    pub fn lane_positions(&self, l: usize) -> Vec<Vec3> {
+        (0..self.n).map(|i| self.pos(i, l)).collect()
+    }
+
+    /// All velocities of lane `l`, in particle order.
+    pub fn lane_velocities(&self, l: usize) -> Vec<Vec3> {
+        (0..self.n).map(|i| self.vel(i, l)).collect()
+    }
+
+    /// Shared-pair-list rebuilds so far (telemetry/diagnostics).
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Compiled `(lj_only, lj_plus_dh)` tier sizes of the shared union
+    /// list; zeros without a non-bonded term.
+    pub fn tier_sizes(&self) -> (usize, usize) {
+        self.nb
+            .as_ref()
+            .map(|bp| (bp.lj_pairs.len(), bp.ljdh_pairs.len()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Recompute forces for the current positions at the current time
+    /// (force field + bias), like `Simulation::refresh_forces`.
+    pub fn refresh_forces(&mut self, bias: &mut dyn FnMut(f64, &mut LaneForces<'_>)) {
+        let t = self.time_ps();
+        self.eval_forces(t, bias);
+    }
+
+    /// Advance every lane by one BAOAB step. The bias callback runs
+    /// inside the mid-step force evaluation at the end-of-step time,
+    /// exactly like the scalar driver.
+    pub fn step_once(&mut self, bias: &mut dyn FnMut(f64, &mut LaneForces<'_>)) {
+        let t_next = (self.step + 1) as f64 * self.dt;
+        let half_kick = 0.5 * self.dt * units::ACCEL;
+        let half_dt = 0.5 * self.dt;
+        lanes::baoab_pre(
+            self.n,
+            self.r,
+            self.step,
+            half_kick,
+            half_dt,
+            &mut self.pos,
+            &mut self.vel,
+            &self.frc,
+            &self.inv_m,
+            &self.seeds,
+            &self.c1,
+            &self.sigma,
+        );
+        self.eval_forces(t_next, bias);
+        lanes::baoab_post(
+            self.n,
+            self.r,
+            half_kick,
+            &mut self.vel,
+            &self.frc,
+            &self.inv_m,
+        );
+        self.step += 1;
+    }
+
+    /// Force evaluation across all lanes: zero, bonded (per-lane scalar
+    /// kernels on gather/scatter views), shared-list pair tiers (lane-
+    /// swept), externals + restraints (per-lane scalar kernels), bias.
+    /// Term order matches `ForceField::evaluate` + bias exactly.
+    fn eval_forces(&mut self, t_ps: f64, bias: &mut dyn FnMut(f64, &mut LaneForces<'_>)) {
+        let Self {
+            n,
+            r,
+            pos,
+            frc,
+            alive,
+            ff,
+            nb,
+            charges,
+            lane_pos,
+            lane_frc,
+            pair_scratch,
+            maxd2,
+            rebuilds,
+            species,
+            ..
+        } = self;
+        let (n, r) = (*n, *r);
+
+        frc.fill(0.0);
+
+        let topo = ff.topology();
+        let has_bonded =
+            !(topo.bonds().is_empty() && topo.angles().is_empty() && topo.dihedrals().is_empty());
+        if has_bonded {
+            // Index form kept: the lane id `l` also feeds the gather/scatter helpers.
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..r {
+                if !alive[l] {
+                    continue;
+                }
+                gather_lane(pos, lane_pos, n, r, l);
+                lane_frc.fill(Vec3::zero());
+                bond_forces(topo.bonds(), lane_pos, lane_frc);
+                angle_forces(topo.angles(), lane_pos, lane_frc);
+                dihedral_forces(topo.dihedrals(), lane_pos, lane_frc);
+                scatter_lane(frc, lane_frc, n, r, l);
+            }
+        }
+
+        if let Some(bp) = nb {
+            if n > 1 {
+                // Rebuild trigger: any live lane moved > skin/2 since the
+                // last rebuild (same cadence as the scalar list, which
+                // checks on every force evaluation).
+                let stale = if bp.built {
+                    maxd2.fill(0.0);
+                    lanes::max_disp(n, r, pos, &bp.ref_pos, maxd2);
+                    maxd2
+                        .iter()
+                        .zip(alive.iter())
+                        .any(|(&d2, &a)| a && d2 > bp.limit2)
+                } else {
+                    true
+                };
+                if stale {
+                    bp.candidates.clear();
+                    // Index form kept: the lane id `l` also feeds the gather/scatter helpers.
+                    #[allow(clippy::needless_range_loop)]
+                    for l in 0..r {
+                        if !alive[l] {
+                            continue;
+                        }
+                        gather_lane(pos, lane_pos, n, r, l);
+                        // A lane can go non-finite before the driver's
+                        // periodic health check notices; the scalar engine
+                        // never rebuilds such a replica (NaN displacements
+                        // compare false), so exclude it from the union.
+                        if !lane_pos.iter().all(|p| p.is_finite()) {
+                            continue;
+                        }
+                        CellList::bin(lane_pos, bp.radius).collect_pairs(
+                            lane_pos,
+                            bp.radius,
+                            &mut bp.candidates,
+                        );
+                    }
+                    bp.candidates.sort_unstable();
+                    bp.candidates.dedup();
+                    bp.lj_pairs.clear();
+                    bp.ljdh_pairs.clear();
+                    bp.ljdh_pref.clear();
+                    for &(i, j) in &bp.candidates {
+                        let (iu, ju) = (i as usize, j as usize);
+                        if topo.is_excluded(iu, ju) {
+                            continue;
+                        }
+                        match bp.dh {
+                            Some(dh) if charges[iu] != 0.0 && charges[ju] != 0.0 => {
+                                bp.ljdh_pairs.push((i, j));
+                                bp.ljdh_pref.push(dh.prefactor(charges[iu], charges[ju]));
+                            }
+                            _ => bp.lj_pairs.push((i, j)),
+                        }
+                    }
+                    bp.ref_pos.copy_from_slice(pos);
+                    bp.built = true;
+                    *rebuilds += 1;
+                }
+                // Tier order matches the scalar serial path: all LJ-only
+                // pairs first, then all LJ+DH pairs.
+                lanes::lj_tier(&bp.lj_pairs, r, bp.lj, bp.lj_cut2, pos, frc, pair_scratch);
+                lanes::ljdh_tier(
+                    &bp.ljdh_pairs,
+                    &bp.ljdh_pref,
+                    r,
+                    bp.lj,
+                    bp.dh,
+                    bp.lj_cut2,
+                    bp.es_cut2,
+                    pos,
+                    frc,
+                    pair_scratch,
+                );
+            }
+        }
+
+        if !ff.externals().is_empty() {
+            // Index form kept: the lane id `l` also feeds the gather/scatter helpers.
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..r {
+                if !alive[l] {
+                    continue;
+                }
+                gather_lane(pos, lane_pos, n, r, l);
+                gather_lane(frc, lane_frc, n, r, l);
+                for ext in ff.externals() {
+                    ext.add_forces(lane_pos, species, lane_frc);
+                }
+                scatter_lane(frc, lane_frc, n, r, l);
+            }
+        }
+        // Restraints have a fixed per-particle shape, so they sweep
+        // lanes directly instead of going through gather/scatter. Dead
+        // lanes are not skipped: their rows are never read again, and a
+        // NaN-poisoned row stays NaN under accumulation.
+        for rest in ff.restraints() {
+            lanes::restraint_tier(
+                rest.index * 3 * r,
+                r,
+                [rest.anchor.x, rest.anchor.y, rest.anchor.z],
+                rest.axes,
+                2.0 * rest.k,
+                pos,
+                frc,
+            );
+        }
+
+        let mut lf = LaneForces { pos, frc, n, r };
+        bias(t_ps, &mut lf);
+    }
+}
+
+impl std::fmt::Debug for BatchSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSim")
+            .field("particles", &self.n)
+            .field("lanes", &self.r)
+            .field("step", &self.step)
+            .field("dt_ps", &self.dt)
+            .field("rebuilds", &self.rebuilds)
+            .finish()
+    }
+}
+
+/// Copy lane `l` out of the SoA array into an AoS `Vec3` view.
+#[inline]
+fn gather_lane(soa: &[f64], out: &mut [Vec3], n: usize, r: usize, l: usize) {
+    for (i, v) in out.iter_mut().enumerate().take(n) {
+        let b = i * 3 * r;
+        *v = Vec3::new(soa[b + l], soa[b + r + l], soa[b + 2 * r + l]);
+    }
+}
+
+/// Copy an AoS `Vec3` view back into lane `l` of the SoA array
+/// (overwrite, not add — the gathered view already accumulated).
+#[inline]
+fn scatter_lane(soa: &mut [f64], lane: &[Vec3], n: usize, r: usize, l: usize) {
+    for (i, v) in lane.iter().enumerate().take(n) {
+        let b = i * 3 * r;
+        soa[b + l] = v.x;
+        soa[b + r + l] = v.y;
+        soa[b + 2 * r + l] = v.z;
+    }
+}
+
+/// Name of the runtime-detected SIMD tier the lane kernels dispatch to
+/// (`"avx512"`, `"avx2"`, or `"generic"`). All tiers are bit-identical;
+/// benches record this so a throughput report can be read against the
+/// hardware that produced it.
+pub fn simd_tier_name() -> &'static str {
+    lanes::tier_name()
+}
+
+/// Lane-swept kernels with runtime SIMD dispatch. Each kernel is written
+/// once as an `#[inline(always)]` generic body; `#[target_feature]`
+/// wrappers let LLVM re-vectorize it for wider ISAs, selected once per
+/// process. All tiers produce identical bits: every operation is an
+/// IEEE-exact add/mul/div/sqrt and LLVM does not contract to FMA without
+/// fast-math.
+mod lanes {
+    use super::{gauss_from, gauss_hash, DebyeHuckel, LjParams};
+    use std::sync::OnceLock;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum SimdTier {
+        Generic,
+        #[cfg(target_arch = "x86_64")]
+        Avx2,
+        #[cfg(target_arch = "x86_64")]
+        Avx512,
+    }
+
+    fn simd_tier() -> SimdTier {
+        static TIER: OnceLock<SimdTier> = OnceLock::new();
+        *TIER.get_or_init(|| {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx512dq")
+                    && is_x86_feature_detected!("avx512vl")
+                    && is_x86_feature_detected!("avx512bw")
+                {
+                    return SimdTier::Avx512;
+                }
+                if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                    return SimdTier::Avx2;
+                }
+            }
+            SimdTier::Generic
+        })
+    }
+
+    pub(super) fn tier_name() -> &'static str {
+        match simd_tier() {
+            SimdTier::Generic => "generic",
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => "avx2",
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => "avx512",
+        }
+    }
+
+    /// Expand one `#[inline(always)]` kernel body into generic/AVX2/
+    /// AVX-512 entry points plus the runtime-dispatched public wrapper.
+    macro_rules! simd_dispatch {
+        ($entry:ident / $imp:ident / $gen:ident / $avx2:ident / $avx512:ident;
+         ( $($arg:ident : $ty:ty),* $(,)? )) => {
+            #[allow(clippy::too_many_arguments)]
+            fn $gen($($arg: $ty),*) {
+                $imp($($arg),*)
+            }
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            #[allow(clippy::too_many_arguments)]
+            unsafe fn $avx2($($arg: $ty),*) {
+                $imp($($arg),*)
+            }
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx512f,avx512dq,avx512vl,avx512bw")]
+            #[allow(clippy::too_many_arguments)]
+            unsafe fn $avx512($($arg: $ty),*) {
+                $imp($($arg),*)
+            }
+            #[allow(clippy::too_many_arguments)]
+            pub(super) fn $entry($($arg: $ty),*) {
+                match simd_tier() {
+                    // SAFETY: the dispatched tier was feature-detected at
+                    // runtime before being cached.
+                    #[cfg(target_arch = "x86_64")]
+                    SimdTier::Avx2 => unsafe { $avx2($($arg),*) },
+                    #[cfg(target_arch = "x86_64")]
+                    SimdTier::Avx512 => unsafe { $avx512($($arg),*) },
+                    SimdTier::Generic => $gen($($arg),*),
+                }
+            }
+        };
+    }
+
+    /// BAOAB pre-force sub-steps (B, A, O, A) for every lane. Exact
+    /// replica of `LangevinBaoab::step`'s per-particle update with the
+    /// loop-invariant coefficients precomputed per lane.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn baoab_pre_impl(
+        n: usize,
+        r: usize,
+        step: u64,
+        half_kick: f64,
+        half_dt: f64,
+        pos: &mut [f64],
+        vel: &mut [f64],
+        frc: &[f64],
+        inv_m: &[f64],
+        seeds: &[u64],
+        c1: &[f64],
+        sigma: &[f64],
+    ) {
+        // Exact-length views of the per-lane tables: the `..r` bound is
+        // what lets LLVM elide the bounds checks inside the lane sweep
+        // (without it the panic paths block clean vectorization).
+        let (seeds, c1) = (&seeds[..r], &c1[..r]);
+        // Index form kept: the particle id `i` also derives the SoA row bases.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let s_kick = half_kick * inv_m[i];
+            // Per-(particle, lane) OU amplitude, precomputed with the
+            // scalar step's exact expression at construction.
+            let sig = &sigma[i * r..(i + 1) * r];
+            for axis in 0..3usize {
+                let row = (i * 3 + axis) * r;
+                // One hash per (step, particle, axis), hoisted across
+                // lanes; per-lane mixing happens in `gauss_from`.
+                let h = gauss_hash(step.wrapping_mul(3).wrapping_add(axis as u64), i as u64);
+                let p = &mut pos[row..row + r];
+                let v = &mut vel[row..row + r];
+                let f = &frc[row..row + r];
+                for l in 0..r {
+                    // B: half kick.
+                    let v1 = v[l] + f[l] * s_kick;
+                    // A: half drift.
+                    let p1 = p[l] + v1 * half_dt;
+                    // O: Ornstein-Uhlenbeck exact update.
+                    let v2 = c1[l] * v1 + sig[l] * gauss_from(seeds[l], h);
+                    // A: half drift.
+                    p[l] = p1 + v2 * half_dt;
+                    v[l] = v2;
+                }
+            }
+        }
+    }
+    simd_dispatch!(baoab_pre / baoab_pre_impl / baoab_pre_gen / baoab_pre_avx2 / baoab_pre_avx512;
+        (n: usize, r: usize, step: u64, half_kick: f64, half_dt: f64,
+         pos: &mut [f64], vel: &mut [f64], frc: &[f64], inv_m: &[f64],
+         seeds: &[u64], c1: &[f64], sigma: &[f64]));
+
+    /// BAOAB final half kick for every lane.
+    #[inline(always)]
+    fn baoab_post_impl(
+        n: usize,
+        r: usize,
+        half_kick: f64,
+        vel: &mut [f64],
+        frc: &[f64],
+        inv_m: &[f64],
+    ) {
+        // Index form kept: the particle id `i` also derives the SoA row bases.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let s_kick = half_kick * inv_m[i];
+            let base = i * 3 * r;
+            let v = &mut vel[base..base + 3 * r];
+            let f = &frc[base..base + 3 * r];
+            for l in 0..3 * r {
+                v[l] += f[l] * s_kick;
+            }
+        }
+    }
+    simd_dispatch!(baoab_post / baoab_post_impl / baoab_post_gen / baoab_post_avx2 / baoab_post_avx512;
+        (n: usize, r: usize, half_kick: f64, vel: &mut [f64], frc: &[f64], inv_m: &[f64]));
+
+    /// One positional restraint swept across lanes — exactly the scalar
+    /// `Restraint::add_forces`, including the per-axis mask: masked axes
+    /// still subtract `±0.0 · 2k`, so the lane bits match the scalar
+    /// path's zeroed displacement component.
+    #[inline(always)]
+    fn restraint_impl(
+        base: usize,
+        r: usize,
+        anchor: [f64; 3],
+        axes: [bool; 3],
+        two_k: f64,
+        pos: &[f64],
+        frc: &mut [f64],
+    ) {
+        for axis in 0..3usize {
+            let row = base + axis * r;
+            let p = &pos[row..row + r];
+            let f = &mut frc[row..row + r];
+            let (anc, on) = (anchor[axis], axes[axis]);
+            for l in 0..r {
+                let d = if on { p[l] - anc } else { 0.0 };
+                f[l] -= d * two_k;
+            }
+        }
+    }
+    simd_dispatch!(restraint_tier / restraint_impl / restraint_gen / restraint_avx2 / restraint_avx512;
+        (base: usize, r: usize, anchor: [f64; 3], axes: [bool; 3], two_k: f64,
+         pos: &[f64], frc: &mut [f64]));
+
+    /// LJ-only tier swept across lanes. Where the scalar kernel skips
+    /// (`r2 == 0` or `r2 > cutoff²`) the lane contributes an exact
+    /// `±0.0`, which never changes an accumulator that is not `-0.0`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn lj_tier_impl(
+        pairs: &[(u32, u32)],
+        r: usize,
+        lj: LjParams,
+        lj_cut2: f64,
+        pos: &[f64],
+        frc: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let (sx, rest) = scratch.split_at_mut(r);
+        let (sy, sz) = rest.split_at_mut(r);
+        for &(i, j) in pairs {
+            let bi = i as usize * 3 * r;
+            let bj = j as usize * 3 * r;
+            let pix = &pos[bi..bi + r];
+            let piy = &pos[bi + r..bi + 2 * r];
+            let piz = &pos[bi + 2 * r..bi + 3 * r];
+            let pjx = &pos[bj..bj + r];
+            let pjy = &pos[bj + r..bj + 2 * r];
+            let pjz = &pos[bj + 2 * r..bj + 3 * r];
+            for l in 0..r {
+                let dx = pjx[l] - pix[l];
+                let dy = pjy[l] - piy[l];
+                let dz = pjz[l] - piz[l];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                // Same inlined expression as the scalar kernel; the unused
+                // energy half is dead-code-eliminated. Out-of-range lanes
+                // compute speculative garbage that the select masks.
+                let (_e, f) = lj.energy_force(r2);
+                let fs = if r2 != 0.0 && r2 <= lj_cut2 { f } else { 0.0 };
+                sx[l] = dx * fs;
+                sy[l] = dy * fs;
+                sz[l] = dz * fs;
+            }
+            accumulate(frc, bj, bi, sx, sy, sz, r);
+        }
+    }
+    simd_dispatch!(lj_tier / lj_tier_impl / lj_tier_gen / lj_tier_avx2 / lj_tier_avx512;
+        (pairs: &[(u32, u32)], r: usize, lj: LjParams, lj_cut2: f64,
+         pos: &[f64], frc: &mut [f64], scratch: &mut [f64]));
+
+    /// LJ + Debye–Hückel tier swept across lanes. The two cutoff tests
+    /// become masked adds onto `f_over_r`, preserving the scalar kernel's
+    /// exact add sequence (`0.0 + f_lj`, then `+ f_dh`).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn ljdh_tier_impl(
+        pairs: &[(u32, u32)],
+        prefs: &[f64],
+        r: usize,
+        lj: LjParams,
+        dh: Option<DebyeHuckel>,
+        lj_cut2: f64,
+        es_cut2: f64,
+        pos: &[f64],
+        frc: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        if pairs.is_empty() {
+            return;
+        }
+        let dh = dh.expect("LJ+DH tier populated without Debye-Huckel enabled");
+        let (sx, rest) = scratch.split_at_mut(r);
+        let (sy, sz) = rest.split_at_mut(r);
+        for (&(i, j), &pref) in pairs.iter().zip(prefs) {
+            let bi = i as usize * 3 * r;
+            let bj = j as usize * 3 * r;
+            let pix = &pos[bi..bi + r];
+            let piy = &pos[bi + r..bi + 2 * r];
+            let piz = &pos[bi + 2 * r..bi + 3 * r];
+            let pjx = &pos[bj..bj + r];
+            let pjy = &pos[bj + r..bj + 2 * r];
+            let pjz = &pos[bj + 2 * r..bj + 3 * r];
+            for l in 0..r {
+                let dx = pjx[l] - pix[l];
+                let dy = pjy[l] - piy[l];
+                let dz = pjz[l] - piz[l];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let nz = r2 != 0.0;
+                let (_elj, f_lj) = lj.energy_force(r2);
+                let (_ec, f_dh) = dh.energy_force_pref(pref, r2);
+                let mut f_over_r = 0.0;
+                f_over_r += if nz && r2 <= lj_cut2 { f_lj } else { 0.0 };
+                f_over_r += if nz && r2 <= es_cut2 { f_dh } else { 0.0 };
+                sx[l] = dx * f_over_r;
+                sy[l] = dy * f_over_r;
+                sz[l] = dz * f_over_r;
+            }
+            accumulate(frc, bj, bi, sx, sy, sz, r);
+        }
+    }
+    simd_dispatch!(ljdh_tier / ljdh_tier_impl / ljdh_tier_gen / ljdh_tier_avx2 / ljdh_tier_avx512;
+        (pairs: &[(u32, u32)], prefs: &[f64], r: usize, lj: LjParams,
+         dh: Option<DebyeHuckel>, lj_cut2: f64, es_cut2: f64,
+         pos: &[f64], frc: &mut [f64], scratch: &mut [f64]));
+
+    /// `frc[j] += fv; frc[i] -= fv` across lanes (`forces[j] += fv;
+    /// forces[i] -= fv` in the scalar kernel — i ≠ j, so splitting the
+    /// two add streams preserves per-accumulator order).
+    #[inline(always)]
+    fn accumulate(
+        frc: &mut [f64],
+        bj: usize,
+        bi: usize,
+        sx: &[f64],
+        sy: &[f64],
+        sz: &[f64],
+        r: usize,
+    ) {
+        {
+            let fj = &mut frc[bj..bj + 3 * r];
+            for l in 0..r {
+                fj[l] += sx[l];
+                fj[r + l] += sy[l];
+                fj[2 * r + l] += sz[l];
+            }
+        }
+        let fi = &mut frc[bi..bi + 3 * r];
+        for l in 0..r {
+            fi[l] -= sx[l];
+            fi[r + l] -= sy[l];
+            fi[2 * r + l] -= sz[l];
+        }
+    }
+
+    /// Per-lane max squared displacement against the rebuild reference.
+    /// `f64::max` drops NaN, so a lane that went non-finite never
+    /// triggers a rebuild (matching the scalar list, where NaN
+    /// comparisons are false).
+    #[inline(always)]
+    fn max_disp_impl(n: usize, r: usize, pos: &[f64], refp: &[f64], maxd2: &mut [f64]) {
+        for i in 0..n {
+            let b = i * 3 * r;
+            let px = &pos[b..b + r];
+            let py = &pos[b + r..b + 2 * r];
+            let pz = &pos[b + 2 * r..b + 3 * r];
+            let rx = &refp[b..b + r];
+            let ry = &refp[b + r..b + 2 * r];
+            let rz = &refp[b + 2 * r..b + 3 * r];
+            for l in 0..r {
+                let dx = px[l] - rx[l];
+                let dy = py[l] - ry[l];
+                let dz = pz[l] - rz[l];
+                let d2 = dx * dx + dy * dy + dz * dz;
+                maxd2[l] = maxd2[l].max(d2);
+            }
+        }
+    }
+    simd_dispatch!(max_disp / max_disp_impl / max_disp_gen / max_disp_avx2 / max_disp_avx512;
+        (n: usize, r: usize, pos: &[f64], refp: &[f64], maxd2: &mut [f64]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::nonbonded::NonBonded;
+    use crate::forces::Restraint;
+    use crate::integrate::LangevinBaoab;
+    use crate::sim::BiasForce;
+    use crate::system::System;
+    use crate::topology::Topology;
+
+    /// A moving z-spring on one particle — the scalar side of the bias
+    /// bit-identity tests.
+    struct ZSpring {
+        k: f64,
+        z0: f64,
+        v: f64,
+    }
+    impl BiasForce for ZSpring {
+        fn apply(&self, p: &[Vec3], forces: &mut [Vec3], t: f64) -> f64 {
+            let dz = p[0].z - (self.z0 + self.v * t);
+            forces[0].z += -2.0 * self.k * dz;
+            0.0
+        }
+    }
+
+    fn restrained_parts() -> (System, ForceField) {
+        let mut sys = System::new();
+        sys.add_particle(Vec3::new(0.3, -0.2, 0.5), 12.0, 0.0, 0);
+        sys.add_particle(Vec3::new(-0.4, 0.6, -0.1), 30.0, 0.0, 0);
+        let ff = ForceField::new(Topology::new())
+            .with_restraint(Restraint::harmonic(0, Vec3::zero(), 1.5))
+            .with_restraint(Restraint::lateral(1, Vec3::new(0.0, 0.5, 0.0), 2.0));
+        (sys, ff)
+    }
+
+    /// Bonded chain with alternating charges and WCA+DH non-bonded terms:
+    /// exercises every kernel family plus shared-list rebuilds.
+    fn chain_parts(n: usize) -> (System, ForceField) {
+        let mut sys = System::new();
+        let mut topo = Topology::new();
+        for i in 0..n {
+            let f = i as f64;
+            sys.add_particle(
+                Vec3::new(
+                    f * 1.1 + 0.05 * (f * 0.7).sin(),
+                    0.2 * (f * 1.3).cos(),
+                    0.1 * f,
+                ),
+                15.0,
+                if i % 3 == 0 { 0.0 } else { -1.0 },
+                0,
+            );
+            if i > 0 {
+                topo.add_harmonic_bond(i - 1, i, 1.1, 40.0);
+            }
+            if i > 1 {
+                topo.add_angle(i - 2, i - 1, i, 2.6, 6.0);
+            }
+        }
+        let ff = ForceField::new(topo)
+            .with_nonbonded(
+                NonBonded::new(LjParams::wca(1.0, 0.8), 4.0, 0.4).with_debye_huckel(3.0, 80.0),
+            )
+            .with_restraint(Restraint::harmonic(0, sys.positions()[0], 5.0));
+        (sys, ff)
+    }
+
+    fn lane_set(seeds: &[u64]) -> Vec<LaneThermostat> {
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| LaneThermostat {
+                temperature: 300.0 + 20.0 * k as f64,
+                gamma: 5.0,
+                noise_seed: s,
+            })
+            .collect()
+    }
+
+    /// Run lane `l`'s scalar twin: same system/ff factory, per-lane
+    /// thermostat, same bias, same step count.
+    fn scalar_run(
+        parts: impl Fn() -> (System, ForceField),
+        t: &LaneThermostat,
+        bias: Option<(f64, f64, f64)>,
+        steps: u64,
+        dt: f64,
+    ) -> (Vec<Vec3>, Vec<Vec3>) {
+        let (sys, ff) = parts();
+        let mut sim = Simulation::new(
+            sys,
+            ff,
+            Box::new(LangevinBaoab::new(t.temperature, t.gamma, t.noise_seed)),
+            dt,
+        );
+        if let Some((k, z0, v)) = bias {
+            sim.set_bias(Some(Box::new(ZSpring { k, z0, v })));
+        }
+        for _ in 0..steps {
+            sim.step_once();
+        }
+        (
+            sim.system().positions().to_vec(),
+            sim.system().velocities().to_vec(),
+        )
+    }
+
+    fn batch_run(
+        parts: impl Fn() -> (System, ForceField),
+        lanes: &[LaneThermostat],
+        bias: Option<(f64, f64, f64)>,
+        steps: u64,
+        dt: f64,
+    ) -> BatchSim {
+        let (sys, ff) = parts();
+        let template = Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, 0)), dt);
+        let mut bsim = BatchSim::new(template, lanes);
+        let mut bias_fn = move |t: f64, lf: &mut LaneForces<'_>| {
+            if let Some((k, z0, v)) = bias {
+                for l in 0..lf.n_lanes() {
+                    let dz = lf.pos_z(0, l) - (z0 + v * t);
+                    lf.add_force_z(0, l, -2.0 * k * dz);
+                }
+            }
+        };
+        bsim.refresh_forces(&mut bias_fn);
+        for _ in 0..steps {
+            bsim.step_once(&mut bias_fn);
+        }
+        bsim
+    }
+
+    fn assert_lane_matches(
+        bsim: &BatchSim,
+        l: usize,
+        scalar_pos: &[Vec3],
+        scalar_vel: &[Vec3],
+        label: &str,
+    ) {
+        assert_eq!(
+            bsim.lane_positions(l),
+            scalar_pos,
+            "{label}: lane {l} positions"
+        );
+        assert_eq!(
+            bsim.lane_velocities(l),
+            scalar_vel,
+            "{label}: lane {l} velocities"
+        );
+    }
+
+    #[test]
+    fn restrained_lanes_match_scalar_bitwise() {
+        let lanes = lane_set(&[11, 22, 33]);
+        let bsim = batch_run(restrained_parts, &lanes, None, 120, 0.01);
+        for (l, t) in lanes.iter().enumerate() {
+            let (p, v) = scalar_run(restrained_parts, t, None, 120, 0.01);
+            assert_lane_matches(&bsim, l, &p, &v, "restrained");
+        }
+    }
+
+    #[test]
+    fn chain_nonbonded_lanes_match_scalar_bitwise() {
+        let lanes = lane_set(&[5, 17, 29, 41]);
+        let bsim = batch_run(|| chain_parts(10), &lanes, None, 250, 0.005);
+        assert!(
+            bsim.rebuild_count() >= 1,
+            "test must exercise shared-list rebuilds"
+        );
+        for (l, t) in lanes.iter().enumerate() {
+            let (p, v) = scalar_run(|| chain_parts(10), t, None, 250, 0.005);
+            assert_lane_matches(&bsim, l, &p, &v, "chain");
+        }
+    }
+
+    #[test]
+    fn biased_lanes_match_scalar_bitwise() {
+        let bias = Some((3.0, 0.5, 2.0));
+        let lanes = lane_set(&[7, 13]);
+        let bsim = batch_run(|| chain_parts(6), &lanes, bias, 150, 0.01);
+        for (l, t) in lanes.iter().enumerate() {
+            let (p, v) = scalar_run(|| chain_parts(6), t, bias, 150, 0.01);
+            assert_lane_matches(&bsim, l, &p, &v, "biased");
+        }
+    }
+
+    #[test]
+    fn lane_trajectory_independent_of_batch_size() {
+        let solo = lane_set(&[22]);
+        let trio = lane_set(&[11, 22, 33]);
+        // `lane_set` varies temperature by slot; pin lane 1's params to
+        // the solo lane's so only batch size differs.
+        let trio = vec![trio[0], solo[0], trio[2]];
+        let b1 = batch_run(|| chain_parts(8), &solo, None, 100, 0.01);
+        let b3 = batch_run(|| chain_parts(8), &trio, None, 100, 0.01);
+        assert_eq!(b1.lane_positions(0), b3.lane_positions(1));
+        assert_eq!(b1.lane_velocities(0), b3.lane_velocities(1));
+    }
+
+    #[test]
+    fn dead_lane_does_not_perturb_live_lanes() {
+        let lanes = lane_set(&[3, 9, 27]);
+        let (sys, ff) = chain_parts(8);
+        let template = Simulation::new(sys, ff, Box::new(LangevinBaoab::new(300.0, 5.0, 0)), 0.01);
+        let mut bsim = BatchSim::new(template, &lanes);
+        let mut no_bias = |_t: f64, _lf: &mut LaneForces<'_>| {};
+        bsim.refresh_forces(&mut no_bias);
+        for _ in 0..40 {
+            bsim.step_once(&mut no_bias);
+        }
+        // Poison lane 1 mid-run the way a blowup would and mark it dead.
+        let r = bsim.n_lanes();
+        for row in 0..3 * bsim.n_particles() {
+            bsim.pos[row * r + 1] = f64::NAN;
+            bsim.vel[row * r + 1] = f64::NAN;
+        }
+        bsim.mark_dead(1);
+        assert!(!bsim.lane_is_finite(1));
+        for _ in 0..160 {
+            bsim.step_once(&mut no_bias);
+        }
+        for (l, t) in lanes.iter().enumerate() {
+            if l == 1 {
+                continue;
+            }
+            let (p, v) = scalar_run(|| chain_parts(8), t, None, 200, 0.01);
+            assert_lane_matches(&bsim, l, &p, &v, "dead-lane");
+        }
+    }
+
+    #[test]
+    fn lane_is_finite_tracks_state() {
+        let lanes = lane_set(&[1, 2]);
+        let bsim = batch_run(restrained_parts, &lanes, None, 10, 0.01);
+        assert!(bsim.lane_is_finite(0) && bsim.lane_is_finite(1));
+        assert!(bsim.any_alive());
+    }
+}

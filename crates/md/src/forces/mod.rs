@@ -122,6 +122,22 @@ impl ForceField {
         }
     }
 
+    /// Non-bonded evaluator, if any (batched engine reads its parameters
+    /// to mirror the pair physics across replica lanes).
+    pub(crate) fn nonbonded(&self) -> Option<&NonBonded> {
+        self.nonbonded.as_ref()
+    }
+
+    /// External one-body potentials, in application order.
+    pub(crate) fn externals(&self) -> &[Box<dyn ExternalPotential>] {
+        &self.externals
+    }
+
+    /// Harmonic restraints, in application order.
+    pub(crate) fn restraints(&self) -> &[Restraint] {
+        &self.restraints
+    }
+
     /// Evaluate all terms: zeroes the system's force accumulators first,
     /// then adds every contribution. Returns the energy breakdown.
     pub fn evaluate(&mut self, system: &mut System) -> Energies {

@@ -156,7 +156,9 @@ impl DebyeHuckel {
     #[inline]
     pub fn energy_force_pref(&self, pref: f64, r2: f64) -> (f64, f64) {
         let r = r2.sqrt();
-        let screen = (-r / self.lambda).exp();
+        // det_exp, not libm exp: bit-reproducible across platforms and
+        // auto-vectorizable when this inlines into a replica-lane sweep.
+        let screen = crate::detmath::det_exp(-r / self.lambda);
         let e = pref * screen / r;
         // dU/dr = -pref screen (1/r² + 1/(λ r)) ⇒ f/r = pref·screen·(1/r³ + 1/(λ r²))
         let f_over_r = pref * screen * (1.0 / (r2 * r) + 1.0 / (self.lambda * r2));
@@ -352,6 +354,26 @@ impl NonBonded {
     /// Sizes of the compiled `(lj_only, lj_plus_dh)` tiers.
     pub fn tier_sizes(&self) -> (usize, usize) {
         (self.tiers.lj_pairs.len(), self.tiers.ljdh_pairs.len())
+    }
+
+    /// LJ parameters (batched engine mirrors this evaluator's physics).
+    pub(crate) fn lj_params(&self) -> LjParams {
+        self.lj
+    }
+
+    /// Debye–Hückel model, if electrostatics are enabled.
+    pub(crate) fn debye(&self) -> Option<DebyeHuckel> {
+        self.dh
+    }
+
+    /// Neighbor-list cutoff (list radius excludes skin).
+    pub(crate) fn list_cutoff(&self) -> f64 {
+        self.list.cutoff()
+    }
+
+    /// Neighbor-list skin margin.
+    pub(crate) fn list_skin(&self) -> f64 {
+        self.list.skin()
     }
 
     /// Evaluate LJ + electrostatics; returns `(lj_energy, coulomb_energy)`.

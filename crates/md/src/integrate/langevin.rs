@@ -100,6 +100,10 @@ impl Integrator for LangevinBaoab {
     fn name(&self) -> &str {
         "langevin-baoab"
     }
+
+    fn langevin_params(&self) -> Option<(f64, f64, u64)> {
+        Some((self.temperature, self.gamma, self.noise.seed()))
+    }
 }
 
 #[cfg(test)]

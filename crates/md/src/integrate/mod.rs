@@ -42,4 +42,16 @@ pub trait Integrator {
 
     /// Scheme name for diagnostics.
     fn name(&self) -> &str;
+
+    /// `(temperature K, friction ps⁻¹, noise-stream seed)` when this
+    /// integrator is a BAOAB Langevin thermostat, else `None`.
+    ///
+    /// The batched ensemble engine (`crate::batch`) replicates the BAOAB
+    /// update across replica lanes itself, so it needs the thermostat
+    /// parameters rather than the [`step`](Self::step) entry point.
+    /// Drivers fall back to the per-replica cloned path when this returns
+    /// `None`.
+    fn langevin_params(&self) -> Option<(f64, f64, u64)> {
+        None
+    }
 }

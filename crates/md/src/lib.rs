@@ -38,7 +38,9 @@
 
 #[cfg(feature = "audit")]
 pub mod audit;
+pub mod batch;
 pub mod checkpoint;
+pub mod detmath;
 pub mod error;
 pub mod forces;
 pub mod integrate;
@@ -54,6 +56,7 @@ pub mod trajectory;
 pub mod units;
 pub mod vec3;
 
+pub use batch::{BatchSim, LaneForces, LaneThermostat};
 pub use error::MdError;
 pub use forces::ForceField;
 pub use sim::{BiasForce, HookAction, HookContext, Simulation, StepHook};

@@ -40,6 +40,12 @@ impl VerletList {
         self.cutoff
     }
 
+    /// Skin margin (Å) added to the cutoff when candidate pairs are
+    /// collected; half of it bounds the displacement before a rebuild.
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
     /// True when the cached list can no longer be trusted: the particle
     /// count changed or some particle moved more than `skin/2` since the
     /// last rebuild.

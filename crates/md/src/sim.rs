@@ -285,6 +285,20 @@ impl Simulation {
     pub(crate) fn set_step(&mut self, step: u64) {
         self.step = step;
     }
+
+    /// Thermostat parameters when the integrator is BAOAB Langevin (see
+    /// [`Integrator::langevin_params`]); the batched ensemble engine uses
+    /// these to replicate the update across replica lanes.
+    pub fn langevin_params(&self) -> Option<(f64, f64, u64)> {
+        self.integrator.langevin_params()
+    }
+
+    /// Decompose into the pieces the batched engine needs:
+    /// `(system, force_field, dt, step)`. The integrator and bias are
+    /// dropped — the batched engine re-creates both per replica lane.
+    pub(crate) fn into_parts(self) -> (System, ForceField, f64, u64) {
+        (self.system, self.force_field, self.dt, self.step)
+    }
 }
 
 impl std::fmt::Debug for Simulation {

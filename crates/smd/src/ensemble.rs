@@ -208,9 +208,41 @@ where
         .collect()
 }
 
-/// Keep only the successful realizations (logging-free convenience).
+/// Split ensemble results into successful trajectories and the errors of
+/// the failed realizations, preserving realization order within each
+/// half. Callers that must account for attrition (the pipeline's PMF
+/// cells report it) use this instead of [`successes`].
+pub fn partition_outcomes(
+    results: Vec<Result<WorkTrajectory, MdError>>,
+) -> (Vec<WorkTrajectory>, Vec<MdError>) {
+    let mut oks = Vec::with_capacity(results.len());
+    let mut errs = Vec::new();
+    for r in results {
+        match r {
+            Ok(t) => oks.push(t),
+            Err(e) => errs.push(e),
+        }
+    }
+    (oks, errs)
+}
+
+/// Keep only the successful realizations. Failures are *not* silently
+/// discarded: each dropped realization is logged to stderr (a biased
+/// Jarzynski average from unnoticed attrition is exactly the failure mode
+/// §IV warns about). Use [`partition_outcomes`] to handle the errors
+/// programmatically.
 pub fn successes(results: Vec<Result<WorkTrajectory, MdError>>) -> Vec<WorkTrajectory> {
-    results.into_iter().filter_map(Result::ok).collect()
+    let (oks, errs) = partition_outcomes(results);
+    if !errs.is_empty() {
+        // spice-lint: allow(T001) successes() is the error-discarding convenience; the stderr note is its anti-silent-attrition contract — use partition_outcomes to handle errors programmatically
+        eprintln!(
+            "spice-smd: dropping {} failed realization(s) from ensemble of {}: {}",
+            errs.len(),
+            errs.len() + oks.len(),
+            errs.first().map(|e| e.to_string()).unwrap_or_default()
+        );
+    }
+    oks
 }
 
 /// Like [`run_ensemble`] but reports completion through a shared atomic

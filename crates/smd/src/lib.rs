@@ -25,14 +25,17 @@
 
 #[cfg(feature = "audit")]
 pub mod audit;
+pub mod batch;
 pub mod ensemble;
 pub mod protocol;
 pub mod pulling;
 pub mod runner;
 pub mod work;
 
+pub use batch::{run_ensemble_batched, run_ensemble_batched_traced};
 pub use ensemble::{
-    run_ensemble, run_ensemble_cloned, run_ensemble_cloned_traced, run_ensemble_with_progress,
+    partition_outcomes, run_ensemble, run_ensemble_cloned, run_ensemble_cloned_traced,
+    run_ensemble_with_progress,
 };
 pub use protocol::PullProtocol;
 pub use pulling::SmdSpring;

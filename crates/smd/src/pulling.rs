@@ -92,6 +92,12 @@ impl SmdSpring {
     pub fn group(&self) -> &[usize] {
         &self.group
     }
+
+    /// Precomputed mass fractions, aligned with [`group`](Self::group)
+    /// (the batched engine replicates the COM fold per replica lane).
+    pub(crate) fn mass_frac(&self) -> &[f64] {
+        &self.mass_frac
+    }
 }
 
 impl BiasForce for SmdSpring {

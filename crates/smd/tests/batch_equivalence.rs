@@ -1,0 +1,112 @@
+//! Property test pinning the batched SoA ensemble to the cloned path:
+//! for any master seed, decorrelation length, and replica count in
+//! {1, 3, 64}, `run_ensemble_batched` must reproduce
+//! `run_ensemble_cloned` *bitwise* — same per-replica seeds, same work
+//! samples (time, guide/COM displacement, accumulated work, spring
+//! force) down to the last f64 bit. This is the contract that lets
+//! `core::pipeline::run_cell` switch paths on a pure throughput
+//! heuristic without perturbing any published number.
+
+use proptest::prelude::*;
+use spice_md::forces::nonbonded::{LjParams, NonBonded};
+use spice_md::forces::Restraint;
+use spice_md::integrate::LangevinBaoab;
+use spice_md::{ForceField, Simulation, System, Topology, Vec3};
+use spice_smd::{run_ensemble_batched, run_ensemble_cloned, PullProtocol};
+use spice_stats::rng::SeedSequence;
+
+/// Single restrained bead — the minimal SMD system (cheapest, so the
+/// 64-replica cases stay fast in debug builds).
+fn bead_factory(seed: u64) -> Simulation {
+    let mut sys = System::new();
+    sys.add_particle(Vec3::zero(), 50.0, 0.0, 0);
+    let mut topo = Topology::new();
+    topo.set_group("smd", vec![0]);
+    let ff = ForceField::new(topo).with_restraint(Restraint::harmonic(0, Vec3::zero(), 0.5));
+    Simulation::new(
+        sys,
+        ff,
+        Box::new(LangevinBaoab::new(300.0, 5.0, seed)),
+        0.02,
+    )
+}
+
+/// Bonded dimer with WCA non-bonded — exercises the shared pair list
+/// and bonded gather/scatter inside the batched pull.
+fn dimer_factory(seed: u64) -> Simulation {
+    let mut sys = System::new();
+    sys.add_particle(Vec3::new(0.0, 0.0, 0.0), 30.0, 0.0, 0);
+    sys.add_particle(Vec3::new(1.2, 0.1, -0.1), 30.0, 0.0, 0);
+    let mut topo = Topology::new();
+    topo.add_harmonic_bond(0, 1, 1.2, 25.0);
+    topo.set_group("smd", vec![0, 1]);
+    let ff = ForceField::new(topo)
+        .with_nonbonded(NonBonded::new(LjParams::wca(0.9, 0.6), 4.0, 0.4))
+        .with_restraint(Restraint::harmonic(0, Vec3::zero(), 1.0));
+    Simulation::new(
+        sys,
+        ff,
+        Box::new(LangevinBaoab::new(310.0, 4.0, seed)),
+        0.02,
+    )
+}
+
+fn proto() -> PullProtocol {
+    PullProtocol {
+        kappa_pn_per_a: 300.0,
+        v_a_per_ns: 2000.0,
+        pull_distance: 2.0,
+        dt_ps: 0.02,
+        equilibration_steps: 100,
+        sample_stride: 10,
+    }
+}
+
+fn assert_bitwise_equal(
+    factory: fn(u64) -> Simulation,
+    n: usize,
+    master: u64,
+    decorr: u64,
+) -> Result<(), TestCaseError> {
+    let cloned = run_ensemble_cloned(factory, &proto(), n, SeedSequence::new(master), decorr);
+    let batched = run_ensemble_batched(factory, &proto(), n, SeedSequence::new(master), decorr);
+    prop_assert_eq!(batched.len(), cloned.len());
+    for (l, (b, c)) in batched.iter().zip(&cloned).enumerate() {
+        let b = match b {
+            Ok(t) => t,
+            Err(e) => return Err(TestCaseError::fail(format!("batched lane {l} failed: {e}"))),
+        };
+        let c = match c {
+            Ok(t) => t,
+            Err(e) => return Err(TestCaseError::fail(format!("cloned lane {l} failed: {e}"))),
+        };
+        prop_assert_eq!(b.seed, c.seed, "replica {} seed", l);
+        prop_assert_eq!(
+            b.kappa_pn_per_a.to_bits(),
+            c.kappa_pn_per_a.to_bits(),
+            "replica {} kappa",
+            l
+        );
+        // WorkSample derives PartialEq over raw f64 fields, so this is a
+        // bitwise comparison of every (t, guide, com, work, force) tuple.
+        prop_assert_eq!(&b.samples, &c.samples, "replica {} work samples", l);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// ISSUE 10 gate: batched == cloned bit-identical across replica
+    /// counts {1, 3, 64} × random master seeds × decorrelation lengths.
+    #[test]
+    fn batched_equals_cloned_bitwise(master in 1u64..1_000_000, decorr in 10u64..60) {
+        for &n in &[1usize, 3, 64] {
+            assert_bitwise_equal(bead_factory, n, master, decorr)?;
+        }
+        // The interacting fixture is pricier; pin the small counts.
+        for &n in &[1usize, 3] {
+            assert_bitwise_equal(dimer_factory, n, master, decorr)?;
+        }
+    }
+}

@@ -86,6 +86,25 @@ pub const RULES: &[RuleInfo] = &[
                  or maintain an index map keyed by id.",
     },
     RuleInfo {
+        id: "P003",
+        summary: "per-iteration heap allocation (Vec::new / vec![] / .clone()) \
+                  inside a loop body of the batched SoA kernels \
+                  (md::batch, smd::batch): preallocate lane scratch in the \
+                  constructor and reuse it every step",
+        detail: "The batched ensemble engine earns its ≥5x throughput gate by \
+                 keeping every per-step loop allocation-free: BatchSim \
+                 preallocates all lane buffers (positions, forces, pair \
+                 scratch, displacement rows) at construction and the kernels \
+                 only index into them. A Vec::new/vec![]/.clone() inside a \
+                 loop body here reintroduces allocator churn on the exact \
+                 path the SIMD lane sweep optimizes, and shows up directly \
+                 in BENCH_ensemble_batch's realizations/sec. Hoist the \
+                 allocation into the constructor (or the one-time setup \
+                 before the step loop) and borrow it per iteration; \
+                 setup/report paths that legitimately allocate once per \
+                 ensemble carry an annotated allow.",
+    },
+    RuleInfo {
         id: "T001",
         summary: "println!/eprintln! (or print!/eprint!) in non-test library code: \
                   route output through return values or the telemetry layer; \
@@ -247,6 +266,9 @@ pub struct FileContext {
     pub crate_dir: Option<String>,
     /// True when the whole file is test/bench/example context.
     pub test_file: bool,
+    /// True for the batched SoA kernel files (`crates/md/src/batch.rs`,
+    /// `crates/smd/src/batch.rs`) whose loop bodies P003 polices.
+    pub batch_kernel: bool,
 }
 
 impl FileContext {
@@ -261,9 +283,13 @@ impl FileContext {
             .iter()
             .any(|c| matches!(*c, "tests" | "benches" | "examples"))
             || crate_dir.as_deref() == Some("bench");
+        let batch_kernel = matches!(crate_dir.as_deref(), Some("md") | Some("smd"))
+            && components.contains(&"src")
+            && components.last() == Some(&"batch.rs");
         FileContext {
             crate_dir,
             test_file,
+            batch_kernel,
         }
     }
 
@@ -313,7 +339,7 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
     let tree = ScopeTree::build(tokens);
     let mask = tree.test_mask(tokens.len());
     let in_gridsim = ctx.crate_dir.as_deref() == Some("gridsim");
-    let loop_mask = if in_gridsim {
+    let loop_mask = if in_gridsim || ctx.batch_kernel {
         tree.loop_mask(tokens.len())
     } else {
         Vec::new()
@@ -472,6 +498,38 @@ pub fn run_rules(ctx: &FileContext, lexed: &Lexed) -> Vec<RawDiagnostic> {
                                       an O(n) scan per iteration makes the event loop \
                                       quadratic — maintain an index map instead"
                                 .into(),
+                        });
+                    }
+                }
+                // P003 — per-iteration heap allocation in the batched SoA
+                // kernel files (md::batch, smd::batch): the lane-swept hot
+                // path must stay allocation-free to hold the throughput
+                // gate; all scratch is preallocated at construction.
+                if !in_test && ctx.batch_kernel && loop_mask.get(i).copied().unwrap_or(false) {
+                    let hit = if name == "clone"
+                        && prev_is(tokens, i, TokKind::Punct('.'))
+                        && next_is(tokens, i, TokKind::Punct('('))
+                    {
+                        Some(".clone()")
+                    } else if name == "Vec" && is_path_call(tokens, i, "new") {
+                        Some("Vec::new()")
+                    } else if name == "vec" && next_is(tokens, i, TokKind::Punct('!')) {
+                        Some("vec![..]")
+                    } else {
+                        None
+                    };
+                    if let Some(what) = hit {
+                        out.push(RawDiagnostic {
+                            rule: "P003",
+                            line: tok.line,
+                            col: tok.col,
+                            message: format!(
+                                "`{what}` inside a batched-kernel loop body: the SoA \
+                                 ensemble hot path must stay allocation-free to hold \
+                                 the BENCH_ensemble_batch throughput gate — \
+                                 preallocate the buffer at construction (BatchSim \
+                                 owns all lane scratch) and reuse it per iteration"
+                            ),
                         });
                     }
                 }
@@ -945,6 +1003,39 @@ mod tests {
             "for e in v { let p = w.position(f); }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn p003_allocs_in_batch_kernel_loops_only() {
+        let clone_loop = "for l in 0..r { let s = lanes.clone(); use_lane(s); }";
+        assert_eq!(
+            rules_fired(&run("crates/md/src/batch.rs", clone_loop)),
+            ["P003"]
+        );
+        let vec_new = "while step < n { let mut buf = Vec::new(); buf.push(step); }";
+        assert_eq!(
+            rules_fired(&run("crates/smd/src/batch.rs", vec_new)),
+            ["P003"]
+        );
+        let vec_macro = "loop { let v = vec![0.0; 3 * r]; consume(v); break; }";
+        assert_eq!(
+            rules_fired(&run("crates/md/src/batch.rs", vec_macro)),
+            ["P003"]
+        );
+        // Construction-time preallocation outside a loop is the
+        // sanctioned idiom — silent.
+        assert!(run("crates/md/src/batch.rs", "let frc = vec![0.0; 3 * n * r];").is_empty());
+        assert!(run("crates/smd/src/batch.rs", "let work = Vec::new();").is_empty());
+        // Other md/smd files, other crates' batch.rs, and test trees
+        // are out of P003's scope.
+        assert!(run("crates/md/src/lib.rs", clone_loop).is_empty());
+        assert!(run("crates/stats/src/batch.rs", clone_loop).is_empty());
+        assert!(run("crates/md/tests/batch.rs", clone_loop).is_empty());
+        // In gridsim the same pattern is P002's jurisdiction, not P003's.
+        assert_eq!(
+            rules_fired(&run("crates/gridsim/src/batch.rs", clone_loop)),
+            ["P002"]
+        );
     }
 
     #[test]

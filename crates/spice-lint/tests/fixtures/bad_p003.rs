@@ -1,0 +1,11 @@
+// P003: per-iteration heap allocation inside the batched SoA kernel's
+// step loop — each pattern churns the allocator on the exact path the
+// lane sweep optimizes.
+pub fn step_all(lanes: &mut [f64], r: usize, steps: u64) {
+    for _ in 0..steps {
+        let scratch = vec![0.0; 3 * r];
+        let mut rows = Vec::new();
+        rows.push(scratch.clone());
+        apply(lanes, &rows);
+    }
+}

@@ -69,6 +69,22 @@ fn p001_fires_on_unwrap_and_panic() {
 }
 
 #[test]
+fn p003_fires_on_all_three_alloc_forms_in_batch_kernels() {
+    let src = include_str!("fixtures/bad_p003.rs");
+    assert_eq!(
+        fired(&lint("crates/md/src/batch.rs", src)),
+        [("P003", 6), ("P003", 7), ("P003", 8)]
+    );
+    assert_eq!(
+        fired(&lint("crates/smd/src/batch.rs", src)),
+        [("P003", 6), ("P003", 7), ("P003", 8)]
+    );
+    // The same code anywhere else in md/smd is not P003's business.
+    assert!(lint("crates/md/src/integrate.rs", src).is_empty());
+    assert!(lint("crates/smd/tests/batch.rs", src).is_empty());
+}
+
+#[test]
 fn t001_fires_on_prints_in_lib_code() {
     let src = include_str!("fixtures/bad_t001.rs");
     assert_eq!(
